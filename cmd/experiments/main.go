@@ -1,0 +1,195 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. Each figure id maps to an experiment in internal/experiments;
+// see DESIGN.md for the index.
+//
+// Usage:
+//
+//	experiments [-fig all|2b|3|8|9|10|11|11c|12|13|14|circuit|table1]
+//	            [-events N] [-seed N] [-mcu apollo4|msp430] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"quetzal/internal/device"
+	"quetzal/internal/experiments"
+	"quetzal/internal/report"
+	"quetzal/internal/sim"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate (2b,3,8,9,10,11,11c,12,13,14,circuit,table1,jitter,checkpoint,mcus,ladder,buffer,seeds,all)")
+		events = flag.Int("events", 0, "events per run (0 = harness default 300; paper uses 1000)")
+		seed   = flag.Int64("seed", 42, "trace and classifier seed")
+		mcu    = flag.String("mcu", "apollo4", "device profile: apollo4 or msp430")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		md     = flag.Bool("md", false, "emit Markdown tables")
+		svgDir = flag.String("svg", "", "also write an SVG chart per figure into this directory")
+		fast   = flag.Bool("fast", false, "use the event-driven engine (~100x faster, statistically matching)")
+	)
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	setup.Seed = *seed
+	if *fast {
+		setup.Engine = sim.EventDriven
+	}
+	if *events > 0 {
+		setup.NumEvents = *events
+	}
+	switch *mcu {
+	case "apollo4":
+		setup.Profile = device.Apollo4()
+	case "msp430":
+		setup.Profile = device.MSP430()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mcu %q\n", *mcu)
+		os.Exit(2)
+	}
+
+	ids := strings.Split(*fig, ",")
+	if *fig == "all" {
+		ids = []string{"table1", "2b", "3", "8", "9", "10", "11", "11c", "12", "13", "14", "circuit", "jitter", "checkpoint", "mcus", "ladder", "buffer", "seeds"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := run(setup, strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			var rerr error
+			switch {
+			case *csv:
+				rerr = t.RenderCSV(os.Stdout)
+			case *md:
+				rerr = t.RenderMarkdown(os.Stdout)
+			default:
+				rerr = t.Render(os.Stdout)
+			}
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "rendering fig %s: %v\n", id, rerr)
+				os.Exit(1)
+			}
+		}
+		if *svgDir != "" {
+			if err := writeSVGs(*svgDir, strings.TrimSpace(id), tables); err != nil {
+				fmt.Fprintf(os.Stderr, "svg for fig %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		if !*csv && !*md {
+			fmt.Printf("[fig %s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+// chartSpec says how a figure's table maps onto a grouped bar chart:
+// (categoryCol, seriesCol, valueCol, y label). Figures without an entry get
+// no chart.
+var chartSpecs = map[string][4]any{
+	"3":          {0, 1, 2, "interesting inputs discarded"},
+	"8":          {0, 1, 2, "interesting inputs discarded"},
+	"9":          {0, 1, 2, "interesting inputs discarded"},
+	"10":         {0, 1, 2, "interesting inputs discarded"},
+	"11":         {0, 1, 2, "interesting inputs discarded"},
+	"12":         {0, 1, 2, "interesting inputs discarded"},
+	"13":         {0, 1, 2, "interesting inputs discarded"},
+	"mcus":       {0, 1, 2, "interesting inputs discarded"},
+	"jitter":     {0, 1, 2, "interesting inputs discarded"},
+	"checkpoint": {0, 1, 2, "interesting inputs discarded"},
+	"2b":         {0, -1, 4, "interesting inputs missed"},
+	"11c":        {0, -1, 1, "interesting inputs discarded"},
+	"ladder":     {0, -1, 1, "interesting inputs discarded"},
+	"buffer":     {0, 1, 2, "interesting inputs discarded"},
+	"14":         {0, -1, 1, "interesting inputs discarded"},
+}
+
+// writeSVGs renders the charted figures into dir.
+func writeSVGs(dir, id string, tables []*report.Table) error {
+	spec, ok := chartSpecs[id]
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range tables {
+		chart, err := experiments.Chart(t, spec[0].(int), spec[1].(int), spec[2].(int), spec[3].(string))
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("fig%s.svg", id)
+		if len(tables) > 1 {
+			name = fmt.Sprintf("fig%s-%d.svg", id, i+1)
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := chart.WriteSVG(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(setup experiments.Setup, id string) ([]*report.Table, error) {
+	one := func(t *report.Table, err error) ([]*report.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{t}, nil
+	}
+	switch id {
+	case "table1":
+		return []*report.Table{setup.Table1()}, nil
+	case "2b":
+		return one(setup.Fig2b())
+	case "3":
+		return one(setup.Fig3())
+	case "8":
+		return one(setup.Fig8())
+	case "9":
+		return one(setup.Fig9())
+	case "10":
+		return one(setup.Fig10())
+	case "11":
+		return one(setup.Fig11())
+	case "11c":
+		return one(setup.Fig11c())
+	case "12":
+		return one(setup.Fig12())
+	case "13":
+		return one(setup.Fig13())
+	case "14":
+		return setup.Fig14()
+	case "circuit":
+		return experiments.CircuitStudy(), nil
+	case "jitter":
+		return one(setup.JitterStudy())
+	case "checkpoint":
+		return one(setup.CheckpointStudy())
+	case "mcus":
+		return one(setup.MCUStudy())
+	case "ladder":
+		return one(setup.LadderStudy())
+	case "buffer":
+		return one(setup.BufferStudy())
+	case "seeds":
+		return one(setup.SeedStudy())
+	default:
+		return nil, fmt.Errorf("unknown figure id %q", id)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"quetzal/internal/experiments"
+)
+
+func tinySetup() experiments.Setup {
+	s := experiments.DefaultSetup()
+	s.NumEvents = 25
+	return s
+}
+
+// Every figure id the CLI advertises must resolve and produce at least one
+// table with rows.
+func TestRunAllFigureIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	setup := tinySetup()
+	ids := []string{"table1", "2b", "3", "8", "9", "10", "11", "11c", "12", "13",
+		"14", "circuit", "jitter", "checkpoint", "mcus", "ladder", "buffer", "seeds"}
+	for _, id := range ids {
+		tables, err := run(setup, id)
+		if err != nil {
+			t.Fatalf("fig %s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("fig %s: no tables", id)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("fig %s: table %q has no rows", id, tb.Title)
+			}
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := run(tinySetup(), "nope"); err == nil {
+		t.Error("run accepted unknown figure id")
+	}
+}

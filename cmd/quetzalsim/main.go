@@ -1,0 +1,196 @@
+// Command quetzalsim runs a single simulation of an energy-harvesting
+// person-detection device under a chosen controller and environment, and
+// prints the resulting metrics.
+//
+// Usage:
+//
+//	quetzalsim [-system qz|na|ad|cn|pzo|pzi|fixed-NN|qz-fcfs|...]
+//	           [-env more-crowded|crowded|less-crowded|msp430-crowded]
+//	           [-mcu apollo4|msp430] [-events N] [-seed N] [-cells N]
+//	           [-capture SECONDS] [-v] [-json] [-fast]
+//	           [-timeline FILE.csv] [-timelinesvg FILE.svg]
+//
+// Examples:
+//
+//	quetzalsim -system qz -env crowded -events 300
+//	quetzalsim -system na -env more-crowded -mcu msp430
+//	quetzalsim -system fixed-50 -env less-crowded -v
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"quetzal/internal/device"
+	"quetzal/internal/experiments"
+	"quetzal/internal/metrics"
+	"quetzal/internal/plot"
+	"quetzal/internal/sim"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "qz", "controller under test (see DESIGN.md for ids)")
+		envName  = flag.String("env", "crowded", "sensing environment")
+		mcu      = flag.String("mcu", "apollo4", "device profile: apollo4, msp430 or stm32g0")
+		events   = flag.Int("events", 300, "number of sensing events")
+		seed     = flag.Int64("seed", 42, "trace and classifier seed")
+		cells    = flag.Int("cells", experiments.ReferenceCells, "harvester cell count")
+		capture  = flag.Float64("capture", 1, "capture period in seconds")
+		verbose  = flag.Bool("v", false, "print full counters")
+		timeline = flag.String("timeline", "", "write a per-second CSV timeline to this file")
+		jsonOut  = flag.Bool("json", false, "emit the full result record as JSON")
+		fast     = flag.Bool("fast", false, "use the event-driven engine (~100x faster)")
+		tlSVG    = flag.String("timelinesvg", "", "render the timeline as an SVG line chart (requires -timeline)")
+	)
+	flag.Parse()
+
+	env, ok := map[string]experiments.Environment{
+		"more-crowded":   experiments.MoreCrowded,
+		"crowded":        experiments.Crowded,
+		"less-crowded":   experiments.LessCrowded,
+		"msp430-crowded": experiments.MSP430Env,
+	}[*envName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown environment %q\n", *envName)
+		os.Exit(2)
+	}
+
+	setup := experiments.DefaultSetup()
+	setup.NumEvents = *events
+	setup.Seed = *seed
+	setup.Cells = *cells
+	setup.CapturePeriod = *capture
+	if *fast {
+		setup.Engine = sim.EventDriven
+	}
+	switch *mcu {
+	case "apollo4":
+		setup.Profile = device.Apollo4()
+	case "msp430":
+		setup.Profile = device.MSP430()
+	case "stm32g0":
+		setup.Profile = device.STM32G0()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mcu %q\n", *mcu)
+		os.Exit(2)
+	}
+
+	var res metrics.Results
+	var err error
+	if *timeline != "" {
+		f, ferr := os.Create(*timeline)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		res, err = setup.RunWithTimeline(*system, env, f)
+	} else {
+		res, err = setup.Run(*system, env)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *tlSVG != "" {
+		if *timeline == "" {
+			fmt.Fprintln(os.Stderr, "-timelinesvg requires -timeline")
+			os.Exit(2)
+		}
+		if err := renderTimelineSVG(*timeline, *tlSVG); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println(res.String())
+	fmt.Printf("  discarded: %.1f%% of interesting arrivals (IBO %.1f%%, false negatives %.1f%%)\n",
+		res.DiscardedFraction()*100, res.IBOFraction()*100,
+		100*float64(res.FalseNegatives)/max1(res.InterestingArrivals))
+	fmt.Printf("  reported:  %d interesting (%.1f%% high quality), %d packets total\n",
+		res.ReportedInteresting(), res.HighQualityShare()*100, res.TotalPackets())
+	if *verbose {
+		fmt.Printf("  captures: %d (missed %d)  arrivals: %d (interesting %d)\n",
+			res.Captures, res.CaptureMisses, res.Arrivals, res.InterestingArrivals)
+		fmt.Printf("  jobs: %d (degraded %d)  IBO predictions: %d (averted %d)\n",
+			res.JobsCompleted, res.Degradations, res.IBOPredictions, res.IBOsAverted)
+		fmt.Printf("  scheduler: %d invocations, overhead %.3f s / %.3g J\n",
+			res.SchedInvocations, res.OverheadSeconds, res.OverheadJoules)
+		fmt.Printf("  energy: harvested %.2f J, consumed %.2f J, %d brownouts\n",
+			res.HarvestedJoules, res.ConsumedJoules, res.Brownouts)
+		fmt.Printf("  simulated: %.0f s\n", res.SimSeconds)
+	}
+}
+
+// renderTimelineSVG converts a timeline CSV (t_s,power_mw,store_mj,
+// occupancy,state) into a line chart.
+func renderTimelineSVG(csvPath, svgPath string) error {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(rows) < 3 {
+		return fmt.Errorf("timeline too short to chart (%d rows)", len(rows))
+	}
+	var xs, power, store, occ []float64
+	for _, row := range rows[1:] {
+		if len(row) < 5 {
+			continue
+		}
+		t, e1 := strconv.ParseFloat(row[0], 64)
+		p, e2 := strconv.ParseFloat(row[1], 64)
+		st, e3 := strconv.ParseFloat(row[2], 64)
+		o, e4 := strconv.ParseFloat(row[3], 64)
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			continue
+		}
+		xs = append(xs, t)
+		power = append(power, p)
+		store = append(store, st)
+		occ = append(occ, o)
+	}
+	chart := &plot.LineChart{
+		Title:  "device timeline",
+		XLabel: "each series normalised to its own maximum",
+		X:      xs,
+		Series: []plot.Series{
+			{Name: "input power (mW)", Values: power},
+			{Name: "store energy (mJ)", Values: store},
+			{Name: "buffer occupancy", Values: occ},
+		},
+	}
+	out, err := os.Create(svgPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return chart.WriteSVG(out)
+}
+
+func max1(v int) float64 {
+	if v == 0 {
+		return 1
+	}
+	return float64(v)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderTimelineSVG(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "tl.csv")
+	svgPath := filepath.Join(dir, "tl.svg")
+	csv := "t_s,power_mw,store_mj,occupancy,state\n" +
+		"0.000,4.0,148.5,0,idle\n" +
+		"1.000,8.0,120.0,2,exec:detect\n" +
+		"2.000,2.0,90.0,5,off\n"
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := renderTimelineSVG(csvPath, svgPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"<svg", "input power (mW)", "buffer occupancy", "store energy (mJ)"} {
+		if !strings.Contains(string(out), frag) {
+			t.Errorf("timeline SVG missing %q", frag)
+		}
+	}
+}
+
+func TestRenderTimelineSVGErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := renderTimelineSVG(filepath.Join(dir, "missing.csv"), filepath.Join(dir, "o.svg")); err == nil {
+		t.Error("accepted missing csv")
+	}
+	short := filepath.Join(dir, "short.csv")
+	os.WriteFile(short, []byte("t_s,power_mw,store_mj,occupancy,state\n0,1,2,3,idle\n"), 0o644)
+	if err := renderTimelineSVG(short, filepath.Join(dir, "o.svg")); err == nil {
+		t.Error("accepted too-short timeline")
+	}
+	if got := max1(0); got != 1 {
+		t.Errorf("max1(0) = %g, want 1", got)
+	}
+	if got := max1(5); got != 5 {
+		t.Errorf("max1(5) = %g, want 5", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Command tracegen emits the synthetic environment traces the experiments
+// consume (JSON on stdout or to a file): solar harvest power and sensing
+// event activity. Externally produced traces in the same format (e.g. a
+// real irradiance dataset converted offline) can be fed back into custom
+// simulations.
+//
+// Usage:
+//
+//	tracegen -kind solar  [-duration SECONDS] [-seed N] [-peak WATTS] [-o FILE]
+//	tracegen -kind rf     [-duration SECONDS] [-seed N] [-o FILE]
+//	tracegen -kind events [-n N] [-maxdur SECONDS] [-seed N] [-o FILE]
+//	tracegen -kind summary -in FILE      # describe an existing trace file
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"quetzal/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "solar", "trace kind: solar, rf, events, or summary")
+		duration = flag.Float64("duration", 3600, "solar: trace duration in seconds")
+		peak     = flag.Float64("peak", 0, "solar: override clear-sky peak power in watts (0 = default)")
+		n        = flag.Int("n", 300, "events: number of events")
+		maxdur   = flag.Float64("maxdur", 60, "events: maximum event duration in seconds (environment knob)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		in       = flag.String("in", "", "summary: input trace file")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "solar":
+		cfg := trace.DefaultSolarConfig(*duration, *seed)
+		if *peak > 0 {
+			cfg.PeakPower = *peak
+		}
+		tr := trace.GenerateSolar(cfg)
+		if err := trace.WritePower(w, tr); err != nil {
+			fatal(err)
+		}
+	case "rf":
+		tr := trace.GenerateRF(trace.DefaultRFConfig(*duration, *seed))
+		if err := trace.WritePower(w, tr); err != nil {
+			fatal(err)
+		}
+	case "events":
+		tr := trace.GenerateEvents(trace.DefaultEventConfig(*n, *maxdur, *seed))
+		if err := trace.WriteEvents(w, tr); err != nil {
+			fatal(err)
+		}
+	case "summary":
+		if *in == "" {
+			fatal(fmt.Errorf("summary requires -in FILE"))
+		}
+		if err := summarize(*in, w); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+// summarize sniffs the file kind and prints human-readable statistics.
+func summarize(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sniff struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &sniff); err != nil {
+		return fmt.Errorf("tracegen: not a trace file: %w", err)
+	}
+	switch sniff.Kind {
+	case "sampled-power":
+		tr, err := trace.ReadPower(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		dur := tr.Duration()
+		fmt.Fprintf(w, "power trace: %d samples, %.0f s, mean %.1f mW, max %.1f mW\n",
+			len(tr.Samples), dur,
+			trace.MeanPower(tr, dur, tr.Dt)*1e3, trace.MaxPower(tr, dur, tr.Dt)*1e3)
+	case "events":
+		tr, err := trace.ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "event trace: %d events over %.0f s, %d interesting (%.0f s of interesting activity)\n",
+			len(tr.Events), tr.Duration(), tr.CountInteresting(), tr.InterestingSeconds())
+	default:
+		return fmt.Errorf("tracegen: unknown trace kind %q", sniff.Kind)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"quetzal/internal/trace"
+)
+
+func TestSummarizePower(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WritePower(f, trace.GenerateSolar(trace.DefaultSolarConfig(60, 1))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := summarize(path, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "power trace:") {
+		t.Errorf("summary = %q", buf.String())
+	}
+}
+
+func TestSummarizeEvents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteEvents(f, trace.GenerateEvents(trace.DefaultEventConfig(10, 30, 1))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := summarize(path, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "event trace: 10 events") {
+		t.Errorf("summary = %q", buf.String())
+	}
+}
+
+func TestSummarizeRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := summarize(path, &buf); err == nil {
+		t.Error("summarize accepted garbage")
+	}
+	if err := os.WriteFile(path, []byte(`{"kind":"mystery"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarize(path, &buf); err == nil {
+		t.Error("summarize accepted unknown kind")
+	}
+	if err := summarize(filepath.Join(dir, "missing.json"), &buf); err == nil {
+		t.Error("summarize accepted missing file")
+	}
+}

@@ -1,0 +1,108 @@
+// Policylab builds a custom application through the public API — an
+// acoustic wildlife monitor rather than the paper's camera — and explores
+// how scheduling policy and S_e2e estimation strategy change its behaviour
+// (the paper's Fig 12 / §7.3 sensitivity studies, on user-defined tasks).
+//
+//	go run ./examples/policylab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quetzal"
+)
+
+// buildApp defines the acoustic monitor: a degradable spectrogram classifier
+// (large vs small model), then a report job with a degradable uplink (full
+// audio clip vs a 4-byte detection flag).
+func buildApp() *quetzal.App {
+	classify := &quetzal.Task{
+		Name: "classify-call",
+		Kind: quetzal.Classify,
+		Options: []quetzal.Option{
+			{Name: "crnn-large", Texe: 0.6, Pexe: 0.011, FalseNegative: 0.05, FalsePositive: 0.06},
+			{Name: "crnn-small", Texe: 0.2, Pexe: 0.008, FalseNegative: 0.18, FalsePositive: 0.12},
+		},
+	}
+	encode := &quetzal.Task{
+		Name:    "encode",
+		Kind:    quetzal.Compute,
+		Options: []quetzal.Option{{Name: "opus", Texe: 0.2, Pexe: 0.007}},
+	}
+	uplink := &quetzal.Task{
+		Name: "uplink",
+		Kind: quetzal.Transmit,
+		Options: []quetzal.Option{
+			{Name: "audio-clip", Texe: 1.0, Pexe: 0.12, HighQuality: true},
+			{Name: "flag", Texe: 0.08, Pexe: 0.04},
+		},
+	}
+	return &quetzal.App{
+		Name: "acoustic-monitor",
+		Jobs: []*quetzal.Job{
+			{ID: 0, Name: "detect", Tasks: []*quetzal.Task{classify}, SpawnJobID: 1},
+			{ID: 1, Name: "report", Tasks: []*quetzal.Task{encode, uplink}, SpawnJobID: quetzal.NoSpawn},
+		},
+		EntryJobID:  0,
+		CaptureTexe: 0.03,
+		CapturePexe: 0.006,
+	}
+}
+
+func main() {
+	events := quetzal.GenerateEvents(quetzal.DefaultEventConfig(200, 45, 41))
+	power := quetzal.GenerateSolar(quetzal.DefaultSolarConfig(events.Duration()+120, 42))
+
+	type variant struct {
+		name   string
+		policy quetzal.Policy
+		kind   quetzal.EstimatorKind
+	}
+	variants := []variant{
+		{"energy-sjf + hw-module", quetzal.EnergySJF(), quetzal.HardwareModule},
+		{"energy-sjf + division", quetzal.EnergySJF(), quetzal.ExactDivision},
+		{"energy-sjf + avg-se2e", quetzal.EnergySJF(), quetzal.AveragedSe2e},
+		{"fcfs + hw-module", quetzal.FCFS(), quetzal.HardwareModule},
+		{"lcfs + hw-module", quetzal.LCFS(), quetzal.HardwareModule},
+		{"capture-order + hw-module", quetzal.CaptureOrder(), quetzal.HardwareModule},
+	}
+
+	fmt.Println("acoustic monitor: scheduling policy × estimator sensitivity")
+	fmt.Printf("%-28s %10s %8s %10s %7s %12s\n",
+		"variant", "discarded", "ibo", "reported", "highq", "degradations")
+	for _, v := range variants {
+		app := buildApp()
+		rt, err := quetzal.NewRuntime(quetzal.RuntimeConfig{
+			App:           app,
+			CapturePeriod: 1,
+			Policy:        v.policy,
+			Kind:          v.kind,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := quetzal.Simulate(quetzal.SimConfig{
+			Profile:    quetzal.Apollo4(),
+			App:        app,
+			Controller: rt,
+			Power:      power,
+			Events:     events,
+			Seed:       43,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9.1f%% %7.1f%% %10d %6.0f%% %12d\n",
+			v.name,
+			res.DiscardedFraction()*100,
+			res.IBOFraction()*100,
+			res.ReportedInteresting(),
+			res.HighQualityShare()*100,
+			res.Degradations)
+	}
+	fmt.Println("\nThe Avg-S_e2e estimator ignores input power and misjudges service")
+	fmt.Println("times under variable harvest (§7.3); the hardware module tracks the")
+	fmt.Println("exact-division estimator within its quantisation band at ~1/10 the")
+	fmt.Println("energy per ratio (§5.1).")
+}

@@ -1,0 +1,66 @@
+// Quickstart: run the paper's person-detection application on the Apollo 4
+// profile under a synthetic solar day, with Quetzal making the scheduling
+// and degradation decisions, and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quetzal"
+)
+
+func main() {
+	// 1. Pick a device profile (task latency/energy tables from Table 1).
+	profile := quetzal.Apollo4()
+
+	// 2. Assemble the application: a "detect" job whose degradable ML task
+	//    classifies stored images, spawning a "report" job (compress +
+	//    degradable radio) for positives.
+	app := profile.PersonDetectionApp()
+
+	// 3. Build the Quetzal runtime: Energy-aware SJF + IBO engine + PID +
+	//    hardware power measurement, profiled against the app.
+	rt, err := quetzal.NewRuntime(quetzal.RuntimeConfig{
+		App:           app,
+		CapturePeriod: 1, // the camera captures one frame per second
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Generate a deterministic environment: 200 sensing events with
+	//    durations capped at 60 s (the paper's "crowded" environment) and a
+	//    solar power trace covering the whole run.
+	events := quetzal.GenerateEvents(quetzal.DefaultEventConfig(200, 60, 7))
+	power := quetzal.GenerateSolar(quetzal.DefaultSolarConfig(events.Duration()+120, 8))
+
+	// 5. Simulate the device at 1 ms resolution.
+	res, err := quetzal.Simulate(quetzal.SimConfig{
+		Profile:    profile,
+		App:        app,
+		Controller: rt,
+		Power:      power,
+		Events:     events,
+		Seed:       9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Report.
+	fmt.Printf("simulated %.0f s of a solar-powered smart camera\n", res.SimSeconds)
+	fmt.Printf("  frames captured:        %d (%d passed the pre-filter)\n", res.Captures, res.Arrivals)
+	fmt.Printf("  interesting arrivals:   %d\n", res.InterestingArrivals)
+	fmt.Printf("  lost to buffer overflow: %d (%.1f%%)\n",
+		res.IBOLossesInteresting(), res.IBOFraction()*100)
+	fmt.Printf("  lost to misclassification: %d\n", res.FalseNegatives)
+	fmt.Printf("  reported: %d interesting inputs, %.0f%% at high quality\n",
+		res.ReportedInteresting(), res.HighQualityShare()*100)
+	fmt.Printf("  IBO engine: %d predictions, %d averted, %d degraded executions\n",
+		res.IBOPredictions, res.IBOsAverted, res.Degradations)
+	fmt.Printf("  energy: %.1f J harvested, %d brownouts survived\n",
+		res.HarvestedJoules, res.Brownouts)
+}

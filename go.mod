@@ -1,0 +1,3 @@
+module quetzal
+
+go 1.22

@@ -1,0 +1,47 @@
+package buffer
+
+import "testing"
+
+// FuzzBufferOps drives the buffer with an arbitrary op stream and checks
+// the conservation invariant (pushes = pops + drops + len) plus bounds.
+func FuzzBufferOps(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2, 0, 3})
+	f.Add(uint8(1), []byte{0, 0, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, capRaw uint8, ops []byte) {
+		capacity := int(capRaw)%12 + 1
+		b := New(capacity)
+		pushes, removals := 0, 0
+		for i, op := range ops {
+			switch op % 5 {
+			case 0, 1:
+				b.Push(Input{Seq: uint64(i), CapturedAt: float64(i), Interesting: op%2 == 0, JobID: int(op) % 3}, op%3 == 0)
+				pushes++
+			case 2:
+				if _, err := b.Pop(); err == nil {
+					removals++
+				}
+			case 3:
+				if _, err := b.PopNewest(); err == nil {
+					removals++
+				}
+			case 4:
+				if b.Len() > 0 {
+					if _, err := b.RemoveAt(int(op) % b.Len()); err == nil {
+						removals++
+					}
+				}
+			}
+			if b.Len() > capacity {
+				t.Fatalf("len %d exceeds capacity %d", b.Len(), capacity)
+			}
+			d := b.Drops()
+			if d.Interesting+d.Uninteresting != d.Total {
+				t.Fatalf("drop split broken: %+v", d)
+			}
+		}
+		if got := removals + b.Drops().Total + b.Len(); got != pushes {
+			t.Fatalf("conservation: pushes %d != pops %d + drops %d + len %d",
+				pushes, removals, b.Drops().Total, b.Len())
+		}
+	})
+}

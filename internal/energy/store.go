@@ -1,0 +1,267 @@
+// Package energy models the energy-storage element of an energy-harvesting
+// device: a small supercapacitor charged through a boost-converter harvester
+// front-end (the paper's hardware uses a TI BQ25504 with a 33 mF
+// supercapacitor, §6.2).
+//
+// The paper's simulator "modeled an energy storage element, to which we add
+// harvested energy every simulator time step" and runs tasks by
+// "subtracting the task's energy from the energy storage" (§6.3). Store
+// implements exactly that, with the voltage-hysteresis on/off behaviour that
+// makes execution intermittent: the device browns out when the capacitor
+// reaches VOff and restarts only after it recharges to VOn.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// StoreConfig describes a supercapacitor energy store.
+type StoreConfig struct {
+	// Capacitance in farads (paper: 33 mF).
+	Capacitance float64
+	// VMax is the regulation ceiling; harvesting above it is discarded.
+	VMax float64
+	// VOn is the restart threshold: a browned-out device resumes when the
+	// capacitor voltage climbs back to VOn.
+	VOn float64
+	// VOff is the brown-out threshold: execution stops when the capacitor
+	// voltage falls to VOff.
+	VOff float64
+	// HarvestEfficiency is the end-to-end harvester conversion efficiency
+	// (boost converter + MPPT losses), in (0, 1].
+	HarvestEfficiency float64
+	// LeakagePower models supercapacitor self-discharge plus always-on
+	// quiescent draw (regulators, RTC), in watts; it drains the store every
+	// step regardless of device state, down to empty. Zero disables it.
+	// Real power systems expose such effects to software (cf. Culpeo [74]);
+	// the paper's Quetzal treats them as part of the measured P_in.
+	LeakagePower float64
+}
+
+// DefaultConfig returns a store modelled on the paper's hardware: 33 mF,
+// BQ25504-style operating window, 80 % conversion efficiency.
+func DefaultConfig() StoreConfig {
+	return StoreConfig{
+		Capacitance:       0.033,
+		VMax:              3.0,
+		VOn:               2.4,
+		VOff:              1.8,
+		HarvestEfficiency: 0.80,
+	}
+}
+
+// Store is a supercapacitor with hysteresis. The zero value is unusable;
+// construct with NewStore.
+type Store struct {
+	cfg    StoreConfig
+	eMax   float64 // ½CV_max²
+	eOn    float64 // ½CV_on²
+	eOff   float64 // ½CV_off²
+	stored float64 // current energy, joules, in [0, eMax]
+	on     bool
+
+	// Lifetime accounting.
+	harvested float64 // joules accepted into the store
+	wasted    float64 // joules offered while full (lost to regulation)
+	consumed  float64 // joules drawn by the load
+	leaked    float64 // joules lost to self-discharge
+	brownouts int     // number of on→off transitions
+}
+
+// NewStore builds a store that starts full and on.
+// It panics on a non-physical configuration.
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.Capacitance <= 0 {
+		panic(fmt.Sprintf("energy: capacitance must be positive, got %g", cfg.Capacitance))
+	}
+	if !(cfg.VMax >= cfg.VOn && cfg.VOn >= cfg.VOff && cfg.VOff >= 0) {
+		panic(fmt.Sprintf("energy: need VMax ≥ VOn ≥ VOff ≥ 0, got %g/%g/%g", cfg.VMax, cfg.VOn, cfg.VOff))
+	}
+	if cfg.HarvestEfficiency <= 0 || cfg.HarvestEfficiency > 1 {
+		panic(fmt.Sprintf("energy: harvest efficiency must be in (0,1], got %g", cfg.HarvestEfficiency))
+	}
+	if cfg.LeakagePower < 0 {
+		panic(fmt.Sprintf("energy: leakage power must be non-negative, got %g", cfg.LeakagePower))
+	}
+	e := func(v float64) float64 { return 0.5 * cfg.Capacitance * v * v }
+	s := &Store{
+		cfg:  cfg,
+		eMax: e(cfg.VMax),
+		eOn:  e(cfg.VOn),
+		eOff: e(cfg.VOff),
+	}
+	s.stored = s.eMax
+	s.on = true
+	return s
+}
+
+// Config returns the configuration the store was built with.
+func (s *Store) Config() StoreConfig { return s.cfg }
+
+// Voltage returns the current capacitor voltage.
+func (s *Store) Voltage() float64 {
+	return math.Sqrt(2 * s.stored / s.cfg.Capacitance)
+}
+
+// Energy returns the absolute stored energy in joules.
+func (s *Store) Energy() float64 { return s.stored }
+
+// UsableEnergy returns the energy available above the brown-out threshold.
+func (s *Store) UsableEnergy() float64 {
+	if s.stored <= s.eOff {
+		return 0
+	}
+	return s.stored - s.eOff
+}
+
+// UsableCapacity returns the usable energy of a full store.
+func (s *Store) UsableCapacity() float64 { return s.eMax - s.eOff }
+
+// On reports whether the device is powered (hysteresis state).
+func (s *Store) On() bool { return s.on }
+
+// Harvest adds power·dt·efficiency to the store, clamped at the regulation
+// ceiling, and may transition the device back on; the configured leakage
+// drains first. power and dt must be non-negative (watts, seconds).
+func (s *Store) Harvest(power, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s.leak(dt)
+	if power <= 0 {
+		return
+	}
+	e := power * dt * s.cfg.HarvestEfficiency
+	room := s.eMax - s.stored
+	if e > room {
+		s.wasted += e - room
+		e = room
+	}
+	s.stored += e
+	s.harvested += e
+	if !s.on && s.stored >= s.eOn {
+		s.on = true
+	}
+}
+
+// Draw removes power·dt joules for load execution. If the draw would push
+// the store below the brown-out threshold, the store drains exactly to the
+// threshold, the device turns off, and Draw returns the fraction of dt that
+// was actually powered (so a 1 ms simulator step can account for partial
+// progress). A full step returns 1.
+func (s *Store) Draw(power, dt float64) float64 {
+	if power <= 0 || dt <= 0 {
+		return 1
+	}
+	if !s.on {
+		return 0
+	}
+	need := power * dt
+	avail := s.stored - s.eOff
+	if avail <= 0 {
+		s.brownout()
+		return 0
+	}
+	if need <= avail {
+		s.stored -= need
+		s.consumed += need
+		if s.stored <= s.eOff {
+			s.brownout()
+		}
+		return 1
+	}
+	s.stored = s.eOff
+	s.consumed += avail
+	s.brownout()
+	return avail / need
+}
+
+// leak applies self-discharge: unlike Draw it can empty the store entirely
+// (leakage does not respect the brown-out floor) and it can turn the
+// device off.
+func (s *Store) leak(dt float64) {
+	if s.cfg.LeakagePower <= 0 {
+		return
+	}
+	e := s.cfg.LeakagePower * dt
+	if e > s.stored {
+		e = s.stored
+	}
+	s.stored -= e
+	s.leaked += e
+	if s.on && s.stored <= s.eOff {
+		s.brownout()
+	}
+}
+
+func (s *Store) brownout() {
+	if s.on {
+		s.on = false
+		s.brownouts++
+	}
+}
+
+// DrawPriority removes energy for an always-on subsystem (the capture
+// pipeline: an ultra-low-power camera with its own regulator) that keeps
+// running while the main compute domain is browned out. It drains at most
+// down to the brown-out floor, never flips the hysteresis state, and
+// returns the powered fraction of dt like Draw.
+func (s *Store) DrawPriority(power, dt float64) float64 {
+	if power <= 0 || dt <= 0 {
+		return 1
+	}
+	need := power * dt
+	avail := s.stored - s.eOff
+	if avail <= 0 {
+		return 0
+	}
+	if need <= avail {
+		s.stored -= need
+		s.consumed += need
+		return 1
+	}
+	s.stored = s.eOff
+	s.consumed += avail
+	return avail / need
+}
+
+// CanSupply reports whether the store could power the given draw without
+// browning out.
+func (s *Store) CanSupply(power, dt float64) bool {
+	return s.on && power*dt <= s.stored-s.eOff
+}
+
+// SetFraction sets the stored energy to f of the usable range above VOff
+// (f=0 → at brown-out, f=1 → full) and updates the hysteresis state. Used
+// to set initial conditions in experiments.
+func (s *Store) SetFraction(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	s.stored = s.eOff + f*(s.eMax-s.eOff)
+	switch {
+	case s.stored >= s.eOn:
+		s.on = true
+	case s.stored <= s.eOff:
+		s.on = false
+	}
+}
+
+// Stats reports lifetime accounting.
+type Stats struct {
+	HarvestedJ float64 // energy accepted into the store
+	WastedJ    float64 // energy lost to regulation while full
+	ConsumedJ  float64 // energy drawn by the load
+	LeakedJ    float64 // energy lost to self-discharge
+	Brownouts  int     // number of power failures
+}
+
+// Stats returns lifetime accounting counters.
+func (s *Store) Stats() Stats {
+	return Stats{HarvestedJ: s.harvested, WastedJ: s.wasted, ConsumedJ: s.consumed,
+		LeakedJ: s.leaked, Brownouts: s.brownouts}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"quetzal/internal/plot"
+	"quetzal/internal/report"
+)
+
+// Chart converts a harness table into a grouped bar chart. categoryCol and
+// seriesCol index the table's label columns (seriesCol < 0 renders a single
+// series named after the value column); valueCol indexes the numeric column,
+// whose cells the harness renders as "12.3%" or plain numbers.
+func Chart(t *report.Table, categoryCol, seriesCol, valueCol int, yLabel string) (*plot.BarChart, error) {
+	if t == nil || len(t.Rows) == 0 {
+		return nil, fmt.Errorf("experiments: empty table for chart")
+	}
+	ncol := len(t.Columns)
+	if categoryCol < 0 || categoryCol >= ncol || valueCol < 0 || valueCol >= ncol || seriesCol >= ncol {
+		return nil, fmt.Errorf("experiments: chart columns out of range for %q", t.Title)
+	}
+
+	suffix := ""
+	var categories []string
+	catIdx := map[string]int{}
+	seriesIdx := map[string]int{}
+	var seriesNames []string
+	cell := func(row []string, i int) string {
+		if i < len(row) {
+			return row[i]
+		}
+		return ""
+	}
+	for _, row := range t.Rows {
+		cat := cell(row, categoryCol)
+		if _, ok := catIdx[cat]; !ok {
+			catIdx[cat] = len(categories)
+			categories = append(categories, cat)
+		}
+		name := t.Columns[valueCol]
+		if seriesCol >= 0 {
+			name = cell(row, seriesCol)
+		}
+		if _, ok := seriesIdx[name]; !ok {
+			seriesIdx[name] = len(seriesNames)
+			seriesNames = append(seriesNames, name)
+		}
+	}
+
+	values := make([][]float64, len(seriesNames))
+	for i := range values {
+		values[i] = make([]float64, len(categories))
+	}
+	for _, row := range t.Rows {
+		v, sfx, err := parseCell(cell(row, valueCol))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table %q: %w", t.Title, err)
+		}
+		if sfx != "" {
+			suffix = sfx
+		}
+		si := 0
+		if seriesCol >= 0 {
+			si = seriesIdx[cell(row, seriesCol)]
+		}
+		values[si][catIdx[cell(row, categoryCol)]] = v
+	}
+
+	c := &plot.BarChart{
+		Title:       t.Title,
+		YLabel:      yLabel,
+		Categories:  categories,
+		ValueSuffix: suffix,
+	}
+	for i, name := range seriesNames {
+		c.Series = append(c.Series, plot.Series{Name: name, Values: values[i]})
+	}
+	return c, nil
+}
+
+// parseCell reads the harness's numeric cell formats: "12.3%", "1769",
+// "2.50x".
+func parseCell(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	suffix := ""
+	for _, sfx := range []string{"%", "x"} {
+		if strings.HasSuffix(s, sfx) {
+			suffix = sfx
+			s = strings.TrimSuffix(s, sfx)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("cell %q is not numeric", s)
+	}
+	return v, suffix, nil
+}

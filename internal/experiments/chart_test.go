@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"quetzal/internal/report"
+)
+
+func discardTable() *report.Table {
+	t := report.New("Demo", "environment", "system", "discarded", "ibo")
+	t.AddRow("crowded", "na", "50.0%", "46.6%")
+	t.AddRow("crowded", "qz", "15.4%", "3.1%")
+	t.AddRow("less-crowded", "na", "42.7%", "38.6%")
+	t.AddRow("less-crowded", "qz", "16.1%", "2.9%")
+	return t
+}
+
+func TestChartGrouped(t *testing.T) {
+	c, err := Chart(discardTable(), 0, 1, 2, "discarded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Categories) != 2 || len(c.Series) != 2 {
+		t.Fatalf("chart shape: %d categories, %d series", len(c.Categories), len(c.Series))
+	}
+	if c.Series[0].Name != "na" || c.Series[0].Values[0] != 50.0 {
+		t.Errorf("series 0 = %+v", c.Series[0])
+	}
+	if c.Series[1].Values[1] != 16.1 {
+		t.Errorf("qz/less-crowded = %g, want 16.1", c.Series[1].Values[1])
+	}
+	if c.ValueSuffix != "%" {
+		t.Errorf("suffix = %q", c.ValueSuffix)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "less-crowded") {
+		t.Error("rendered SVG missing category")
+	}
+}
+
+func TestChartSingleSeries(t *testing.T) {
+	tb := report.New("Sweep", "threshold", "discarded")
+	tb.AddRow("25%", "13.9%")
+	tb.AddRow("50%", "13.0%")
+	c, err := Chart(tb, 0, -1, 1, "discarded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 1 || c.Series[0].Name != "discarded" {
+		t.Fatalf("series = %+v", c.Series)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := Chart(nil, 0, 1, 2, ""); err == nil {
+		t.Error("accepted nil table")
+	}
+	if _, err := Chart(discardTable(), 0, 1, 9, ""); err == nil {
+		t.Error("accepted out-of-range value column")
+	}
+	bad := report.New("B", "a", "v")
+	bad.AddRow("x", "not-a-number")
+	if _, err := Chart(bad, 0, -1, 1, ""); err == nil {
+		t.Error("accepted non-numeric cell")
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in     string
+		v      float64
+		suffix string
+		ok     bool
+	}{
+		{"12.3%", 12.3, "%", true},
+		{"1769", 1769, "", true},
+		{"2.50x", 2.5, "x", true},
+		{" 7 ", 7, "", true},
+		{"abc", 0, "", false},
+	}
+	for _, c := range cases {
+		v, sfx, err := parseCell(c.in)
+		if (err == nil) != c.ok || v != c.v || sfx != c.suffix {
+			t.Errorf("parseCell(%q) = (%g,%q,%v)", c.in, v, sfx, err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (§6–§7). Each Fig* function runs the systems a figure compares,
+// under the sensing environments it uses, and renders the same rows/series
+// the paper reports. DESIGN.md carries the experiment index; EXPERIMENTS.md
+// records paper-vs-measured numbers produced by this package.
+package experiments
+
+import (
+	"fmt"
+
+	"quetzal/internal/baseline"
+	"quetzal/internal/core"
+	"quetzal/internal/device"
+	"quetzal/internal/metrics"
+	"quetzal/internal/model"
+	"quetzal/internal/sched"
+	"quetzal/internal/sim"
+	"quetzal/internal/trace"
+)
+
+// Environment is one sensing environment from Table 1, defined by the cap
+// on event durations ("Maximum 'Interesting' Duration").
+type Environment struct {
+	Name        string
+	MaxDuration float64 // seconds
+}
+
+// The paper's three sensing environments (Table 1).
+var (
+	MoreCrowded = Environment{Name: "more-crowded", MaxDuration: 600}
+	Crowded     = Environment{Name: "crowded", MaxDuration: 60}
+	LessCrowded = Environment{Name: "less-crowded", MaxDuration: 20}
+
+	// MSP430Env is the separate environment Table 1 specifies for the
+	// MSP430 experiments: maximum interesting duration 10 s, matching the
+	// slower platform's processing rate.
+	MSP430Env = Environment{Name: "msp430-crowded", MaxDuration: 10}
+
+	// Environments orders the three from most to least crowded, the order
+	// Figures 9–12 sweep them in.
+	Environments = []Environment{MoreCrowded, Crowded, LessCrowded}
+)
+
+// DatasheetMaxWatts is the 6-cell harvester's datasheet maximum output —
+// the oracle-free threshold source the PZO baseline uses (§6.1). Real
+// traces peak well below it.
+const DatasheetMaxWatts = 0.5
+
+// ReferenceCells is the harvester cell count of the primary experiments.
+const ReferenceCells = 6
+
+// Setup carries the configuration shared by all experiments.
+type Setup struct {
+	Profile   device.Profile
+	NumEvents int   // events per run (paper: 1000 simulated, 100 hardware)
+	Seed      int64 // trace + classifier seed
+	Cells     int   // harvester cells (Fig 14 sweeps this)
+
+	// Quetzal parameters (0 → paper defaults from Table 1).
+	TaskWindow    int
+	ArrivalWindow int
+
+	CapturePeriod float64 // seconds; 0 → 1 FPS
+	StepDt        float64 // 0 → 1 ms
+
+	// Engine selects the simulator's time-advance mechanism; the default
+	// FixedIncrement is the paper-faithful reference, EventDriven runs
+	// ~50–200× faster with statistically matching results.
+	Engine sim.EngineKind
+}
+
+// DefaultSetup returns the Apollo 4 configuration the primary experiments
+// use. NumEvents defaults to 300 to keep a full harness run tractable; pass
+// -events 1000 to cmd/experiments for the paper-scale runs.
+func DefaultSetup() Setup {
+	return Setup{
+		Profile:   device.Apollo4(),
+		NumEvents: 300,
+		Seed:      42,
+		Cells:     ReferenceCells,
+	}
+}
+
+func (s Setup) capturePeriod() float64 {
+	if s.CapturePeriod > 0 {
+		return s.CapturePeriod
+	}
+	return 1
+}
+
+// Traces builds the deterministic power and event traces for an environment.
+func (s Setup) Traces(env Environment) (trace.PowerTrace, *trace.EventTrace) {
+	events := trace.GenerateEvents(trace.DefaultEventConfig(s.NumEvents, env.MaxDuration, s.Seed))
+	duration := events.Duration() + 120
+	solar := trace.GenerateSolar(trace.DefaultSolarConfig(duration, s.Seed+1))
+	cells := s.Cells
+	if cells <= 0 {
+		cells = ReferenceCells
+	}
+	if cells == ReferenceCells {
+		return solar, events
+	}
+	return trace.Scaled{Base: solar, Factor: float64(cells) / ReferenceCells}, events
+}
+
+// System identifiers accepted by Run.
+const (
+	SysQuetzal      = "qz"
+	SysQuetzalDiv   = "qz-div"     // exact-division estimator (no hardware module)
+	SysQuetzalAvg   = "qz-avg"     // Avg-S_e2e estimator (§7.3)
+	SysQuetzalFCFS  = "qz-fcfs"    // IBO engine with FCFS scheduling (Fig 12)
+	SysQuetzalLCFS  = "qz-lcfs"    // IBO engine with LCFS scheduling (Fig 12)
+	SysQuetzalCapt  = "qz-capture" // IBO engine with capture-order scheduling (Fig 12)
+	SysQuetzalNoPID = "qz-nopid"   // ablation: PID disabled
+	SysQuetzalNoIBO = "qz-noibo"   // ablation: pure Energy-aware SJF, no degradation
+	SysNoAdapt      = "na"
+	SysAlwaysDeg    = "ad"
+	SysCatNap       = "cn"
+	SysPZO          = "pzo"
+	SysPZI          = "pzi"
+	SysIdeal        = "ideal" // NoAdapt with an effectively infinite buffer
+)
+
+// FixedThresholdID names the fixed-buffer-threshold system at the given
+// occupancy fraction (e.g. 0.25 → "fixed-25").
+func FixedThresholdID(frac float64) string {
+	return fmt.Sprintf("fixed-%d", int(frac*100+0.5))
+}
+
+// Run executes one system in one environment and returns its results.
+func (s Setup) Run(systemID string, env Environment) (metrics.Results, error) {
+	if systemID == SysIdeal {
+		return s.ideal(env), nil
+	}
+	power, events := s.Traces(env)
+	app := s.Profile.PersonDetectionApp()
+
+	ctl, bufCap, err := s.controller(systemID, app, power, events)
+	if err != nil {
+		return metrics.Results{}, err
+	}
+
+	simulator, err := sim.New(sim.Config{
+		Profile:        s.Profile,
+		App:            app,
+		Controller:     ctl,
+		Power:          power,
+		Events:         events,
+		Engine:         s.Engine,
+		CapturePeriod:  s.capturePeriod(),
+		StepDt:         s.StepDt,
+		BufferCapacity: bufCap,
+		Seed:           s.Seed + 7,
+		Environment:    env.Name,
+	})
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return res, fmt.Errorf("experiments: %s/%s: %w", systemID, env.Name, err)
+	}
+	res.System = systemID
+	return res, nil
+}
+
+// ideal computes the Ideal baseline analytically: "an infinite input buffer
+// that never overflows, only discarding interesting inputs due to ML model
+// misclassifications" (§2.3). With no buffer limit and no deadline, every
+// arrival is eventually processed at the highest quality, so the outcome is
+// fully determined by the arrival counts and the high-quality classifier's
+// error rates.
+func (s Setup) ideal(env Environment) metrics.Results {
+	_, events := s.Traces(env)
+	period := s.capturePeriod()
+	duration := events.Duration() + 120
+	captures := int(duration / period)
+	arrivals, interesting := 0, 0
+	for k := 0; k < captures; k++ {
+		t := float64(k) * period
+		ev, ok := events.ActiveAt(t)
+		if !ok {
+			continue
+		}
+		arrivals++
+		if ev.Interesting {
+			interesting++
+		}
+	}
+	hq := s.Profile.MLOptions[0]
+	fn := int(float64(interesting)*hq.FalseNegative + 0.5)
+	fp := int(float64(arrivals-interesting)*hq.FalsePositive + 0.5)
+	return metrics.Results{
+		System:              SysIdeal,
+		Environment:         env.Name,
+		SimSeconds:          duration,
+		Captures:            captures,
+		Arrivals:            arrivals,
+		InterestingArrivals: interesting,
+		FalseNegatives:      fn,
+		TruePositives:       interesting - fn,
+		TrueNegatives:       arrivals - interesting - fp,
+		FalsePositives:      fp,
+		HighQInteresting:    interesting - fn,
+		HighQUninteresting:  fp,
+		JobsCompleted:       arrivals + (interesting - fn) + fp,
+	}
+}
+
+// controller builds the controller for a system id. The returned buffer
+// capacity is 0 (profile default) except for the Ideal system.
+func (s Setup) controller(systemID string, app *model.App, power trace.PowerTrace, events *trace.EventTrace) (core.Controller, int, error) {
+	quetzal := func(mutate func(*core.Config)) (core.Controller, int, error) {
+		cfg := core.Config{
+			App:           app,
+			CapturePeriod: s.capturePeriod(),
+			TaskWindow:    s.TaskWindow,
+			ArrivalWindow: s.ArrivalWindow,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r, err := core.New(cfg)
+		return r, 0, err
+	}
+	switch systemID {
+	case SysQuetzal:
+		return quetzal(nil)
+	case SysQuetzalDiv:
+		return quetzal(func(c *core.Config) { c.Kind = core.ExactDivision })
+	case SysQuetzalAvg:
+		return quetzal(func(c *core.Config) { c.Kind = core.AveragedSe2e })
+	case SysQuetzalFCFS:
+		return quetzal(func(c *core.Config) { c.Policy = sched.FCFS{} })
+	case SysQuetzalLCFS:
+		return quetzal(func(c *core.Config) { c.Policy = sched.LCFS{} })
+	case SysQuetzalCapt:
+		return quetzal(func(c *core.Config) { c.Policy = sched.CaptureOrder{} })
+	case SysQuetzalNoPID:
+		return quetzal(func(c *core.Config) { c.DisablePID = true })
+	case SysQuetzalNoIBO:
+		return quetzal(func(c *core.Config) { c.DisableIBOEngine = true })
+	case SysNoAdapt:
+		c, err := baseline.NoAdapt(app)
+		return c, 0, err
+	case SysAlwaysDeg:
+		c, err := baseline.AlwaysDegrade(app)
+		return c, 0, err
+	case SysCatNap:
+		c, err := baseline.CatNap(app)
+		return c, 0, err
+	case SysPZO:
+		c, err := baseline.PZO(app, DatasheetMaxWatts)
+		return c, 0, err
+	case SysPZI:
+		max := trace.MaxPower(power, events.Duration(), 1)
+		c, err := baseline.PZI(app, max)
+		return c, 0, err
+	case SysIdeal:
+		// Normally intercepted by Run (computed analytically); keep a
+		// simulated fallback with an effectively infinite buffer for
+		// callers that want the dynamics.
+		c, err := baseline.NoAdapt(app)
+		return c, 1 << 20, err
+	}
+	// Fixed thresholds: "fixed-NN".
+	var pct int
+	if n, _ := fmt.Sscanf(systemID, "fixed-%d", &pct); n == 1 && pct > 0 && pct <= 100 {
+		c, err := baseline.Threshold(app, float64(pct)/100)
+		return c, 0, err
+	}
+	return nil, 0, fmt.Errorf("experiments: unknown system %q", systemID)
+}

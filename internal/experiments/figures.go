@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quetzal/internal/circuit"
+	"quetzal/internal/device"
+	"quetzal/internal/metrics"
+	"quetzal/internal/report"
+)
+
+// runAll executes a list of systems in one environment.
+func (s Setup) runAll(systems []string, env Environment) (map[string]metrics.Results, error) {
+	out := make(map[string]metrics.Results, len(systems))
+	for _, id := range systems {
+		res, err := s.Run(id, env)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = res
+	}
+	return out, nil
+}
+
+// discardRow renders the standard per-system row used by most figures.
+func discardRow(t *report.Table, env string, r metrics.Results) {
+	t.AddRow(env, r.System,
+		report.Pct(r.DiscardedFraction()),
+		report.Pct(r.IBOFraction()),
+		report.Pct(float64(r.FalseNegatives)/nz(r.InterestingArrivals)),
+		report.N(r.ReportedInteresting()),
+		report.Pct(r.HighQualityShare()),
+		report.N(r.Degradations),
+	)
+}
+
+func nz(v int) float64 {
+	if v == 0 {
+		return 1
+	}
+	return float64(v)
+}
+
+func ratio(worse, better float64) float64 {
+	if better <= 0 {
+		return 0
+	}
+	return worse / better
+}
+
+var discardColumns = []string{"environment", "system", "discarded", "ibo", "falseneg", "reported", "highq", "degraded"}
+
+// Fig2b reproduces the capture-rate degradation study: a NoAdapt system
+// with capture periods from 1 to 10 s still misses a large fraction of
+// interesting data — now because it never captures it.
+func (s Setup) Fig2b() (*report.Table, error) {
+	t := report.New("Fig 2b — reducing capture rate still misses events (NoAdapt, crowded)",
+		"capture period (s)", "interesting seen", "coverage vs 1s", "discarded (of seen)", "total missed")
+	base := 0
+	for _, period := range []float64{1, 2, 3, 5, 10} {
+		setup := s
+		setup.CapturePeriod = period
+		res, err := setup.Run(SysNoAdapt, Crowded)
+		if err != nil {
+			return nil, err
+		}
+		if period == 1 {
+			base = res.InterestingArrivals
+		}
+		coverage := float64(res.InterestingArrivals) / nz(base)
+		// Total missed = the frames a 1 FPS system would have seen but this
+		// one either never captured or discarded.
+		missed := float64(base-res.ReportedInteresting()) / nz(base)
+		t.AddRow(fmt.Sprintf("%g", period),
+			report.N(res.InterestingArrivals),
+			report.Pct(coverage),
+			report.Pct(res.DiscardedFraction()),
+			report.Pct(missed))
+	}
+	t.AddNote("paper: with less frequent captures the device fails to even capture a large fraction of interesting data")
+	return t, nil
+}
+
+// Fig3 reproduces the naive-solutions motivation: Ideal, NoAdapt, Always-
+// Degrade, CatNap and PZO against Quetzal in the crowded environment.
+func (s Setup) Fig3() (*report.Table, error) {
+	systems := []string{SysIdeal, SysNoAdapt, SysAlwaysDeg, SysCatNap, SysPZO, SysQuetzal}
+	res, err := s.runAll(systems, Crowded)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Fig 3 — naive solutions are ineffective (crowded)", discardColumns...)
+	for _, id := range systems {
+		discardRow(t, Crowded.Name, res[id])
+	}
+	na, qz := res[SysNoAdapt], res[SysQuetzal]
+	t.AddNote("Quetzal discards %s fewer interesting inputs than NoAdapt (paper: up to 4.2x across envs)",
+		report.X(ratio(na.DiscardedFraction(), qz.DiscardedFraction())))
+	return t, nil
+}
+
+// Fig8 reproduces the end-to-end "hardware" experiment: Quetzal vs NoAdapt
+// with 100 events in two sensing environments (paper: 6.4x and 5x fewer
+// discards; 74% and 27% more interesting reports).
+func (s Setup) Fig8() (*report.Table, error) {
+	setup := s
+	setup.NumEvents = 100
+	t := report.New("Fig 8 — end-to-end experiment, Quetzal vs NoAdapt (100 events)", discardColumns...)
+	for _, env := range []Environment{MoreCrowded, Crowded} {
+		res, err := setup.runAll([]string{SysNoAdapt, SysQuetzal}, env)
+		if err != nil {
+			return nil, err
+		}
+		discardRow(t, env.Name, res[SysNoAdapt])
+		discardRow(t, env.Name, res[SysQuetzal])
+		na, qz := res[SysNoAdapt], res[SysQuetzal]
+		t.AddNote("%s: QZ discards %s fewer; reports %+.0f%% more interesting inputs",
+			env.Name,
+			report.X(ratio(na.DiscardedFraction(), qz.DiscardedFraction())),
+			100*(float64(qz.ReportedInteresting())/nz(na.ReportedInteresting())-1))
+	}
+	return t, nil
+}
+
+// Fig9 reproduces the headline comparison: Quetzal vs NoAdapt, AlwaysDegrade
+// and the infinite-buffer Ideal across the three sensing environments.
+func (s Setup) Fig9() (*report.Table, error) {
+	systems := []string{SysIdeal, SysNoAdapt, SysAlwaysDeg, SysQuetzal}
+	t := report.New("Fig 9 — Quetzal vs NoAdapt / AlwaysDegrade / Ideal", discardColumns...)
+	for _, env := range Environments {
+		res, err := s.runAll(systems, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range systems {
+			discardRow(t, env.Name, res[id])
+		}
+		na, ad, qz, ideal := res[SysNoAdapt], res[SysAlwaysDeg], res[SysQuetzal], res[SysIdeal]
+		t.AddNote("%s: QZ vs NA %s fewer discards (paper 2.9–4.2x); vs AD %s (paper 2.2–4.2x); reports %s of ideal (paper 92–98%%)",
+			env.Name,
+			report.X(ratio(na.DiscardedFraction(), qz.DiscardedFraction())),
+			report.X(ratio(ad.DiscardedFraction(), qz.DiscardedFraction())),
+			report.Pct(float64(qz.ReportedInteresting())/nz(ideal.ReportedInteresting())))
+	}
+	return t, nil
+}
+
+// Fig10 reproduces the prior-work comparison: CatNap, PZO and the
+// unimplementable PZI oracle vs Quetzal.
+func (s Setup) Fig10() (*report.Table, error) {
+	systems := []string{SysCatNap, SysPZO, SysPZI, SysQuetzal}
+	t := report.New("Fig 10 — Quetzal vs prior work (CatNap, Protean/Zygarde)", discardColumns...)
+	for _, env := range Environments {
+		res, err := s.runAll(systems, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range systems {
+			discardRow(t, env.Name, res[id])
+		}
+		cn, pzi, qz := res[SysCatNap], res[SysPZI], res[SysQuetzal]
+		t.AddNote("%s: QZ vs CatNap %s fewer discards (paper 2.2–4.3x); vs PZI %s (paper 1.9–3.1x)",
+			env.Name,
+			report.X(ratio(cn.DiscardedFraction(), qz.DiscardedFraction())),
+			report.X(ratio(pzi.DiscardedFraction(), qz.DiscardedFraction())))
+	}
+	return t, nil
+}
+
+// Fig11 reproduces the fixed-buffer-threshold comparison at 25/50/75 %.
+func (s Setup) Fig11() (*report.Table, error) {
+	systems := []string{FixedThresholdID(0.25), FixedThresholdID(0.50), FixedThresholdID(0.75), SysQuetzal}
+	t := report.New("Fig 11a/b — Quetzal vs fixed buffer thresholds", discardColumns...)
+	for _, env := range Environments {
+		res, err := s.runAll(systems, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range systems {
+			discardRow(t, env.Name, res[id])
+		}
+		qz := res[SysQuetzal]
+		gm := 1.0
+		for _, id := range systems[:3] {
+			gm *= ratio(res[id].DiscardedFraction(), qz.DiscardedFraction())
+		}
+		gm = cbrt(gm)
+		t.AddNote("%s: QZ discards %s fewer than the fixed thresholds (geomean; paper 1.15–2.2x)",
+			env.Name, report.X(gm))
+	}
+	return t, nil
+}
+
+func cbrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 64; i++ {
+		x = (2*x + v/(x*x)) / 3
+	}
+	return x
+}
+
+// Fig11c sweeps the fixed threshold across its whole range in the crowded
+// environment; Quetzal must win at every point.
+func (s Setup) Fig11c() (*report.Table, error) {
+	t := report.New("Fig 11c — full threshold sweep (crowded)",
+		"threshold", "discarded", "ibo", "falseneg", "highq-share")
+	for _, pct := range []int{10, 25, 40, 50, 60, 75, 90, 100} {
+		res, err := s.Run(fmt.Sprintf("fixed-%d", pct), Crowded)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d%%", pct),
+			report.Pct(res.DiscardedFraction()),
+			report.Pct(res.IBOFraction()),
+			report.Pct(float64(res.FalseNegatives)/nz(res.InterestingArrivals)),
+			report.Pct(res.HighQualityShare()))
+	}
+	qz, err := s.Run(SysQuetzal, Crowded)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("quetzal",
+		report.Pct(qz.DiscardedFraction()),
+		report.Pct(qz.IBOFraction()),
+		report.Pct(float64(qz.FalseNegatives)/nz(qz.InterestingArrivals)),
+		report.Pct(qz.HighQualityShare()))
+	t.AddNote("paper: Quetzal outperforms fixed-threshold systems no matter what threshold is used")
+	return t, nil
+}
+
+// Fig12 reproduces the scheduler sensitivity study: Quetzal's IBO engine
+// paired with Energy-aware SJF vs Avg-S_e2e, FCFS, LCFS and capture-order.
+func (s Setup) Fig12() (*report.Table, error) {
+	systems := []string{SysQuetzal, SysQuetzalAvg, SysQuetzalFCFS, SysQuetzalLCFS, SysQuetzalCapt}
+	t := report.New("Fig 12 — scheduling policy sensitivity (all with IBO engine)", discardColumns...)
+	for _, env := range Environments {
+		res, err := s.runAll(systems, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range systems {
+			discardRow(t, env.Name, res[id])
+		}
+		qz := res[SysQuetzal]
+		t.AddNote("%s: energy-aware SJF vs Avg-Se2e %s (paper 2.2–4.2x), vs FCFS %s (1.8–3x), vs LCFS %s (1.5–2.7x), vs capture-order %s (1.4–2.6x)",
+			env.Name,
+			report.X(ratio(res[SysQuetzalAvg].DiscardedFraction(), qz.DiscardedFraction())),
+			report.X(ratio(res[SysQuetzalFCFS].DiscardedFraction(), qz.DiscardedFraction())),
+			report.X(ratio(res[SysQuetzalLCFS].DiscardedFraction(), qz.DiscardedFraction())),
+			report.X(ratio(res[SysQuetzalCapt].DiscardedFraction(), qz.DiscardedFraction())))
+	}
+	return t, nil
+}
+
+// Fig13 reproduces the MSP430 versatility study: Quetzal and all baselines
+// on the MSP430FR5994 profile (Int-16 vs Int-8 LeNet) in the crowded
+// environment.
+func (s Setup) Fig13() (*report.Table, error) {
+	setup := s
+	setup.Profile = device.MSP430()
+	systems := []string{SysNoAdapt, SysAlwaysDeg, SysCatNap, FixedThresholdID(0.75), SysPZO, SysPZI, SysQuetzal}
+	res, err := setup.runAll(systems, MSP430Env)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Fig 13 — MSP430FR5994 versatility (10 s events, Table 1)", discardColumns...)
+	for _, id := range systems {
+		discardRow(t, MSP430Env.Name, res[id])
+	}
+	na, qz := res[SysNoAdapt], res[SysQuetzal]
+	t.AddNote("QZ vs NA: %s fewer discards (paper 2.8x on MSP430)",
+		report.X(ratio(na.DiscardedFraction(), qz.DiscardedFraction())))
+	return t, nil
+}
+
+// Fig14 reproduces the parameter sensitivity sweeps in the more-crowded
+// environment: harvester cell count, arrival window and task window.
+func (s Setup) Fig14() ([]*report.Table, error) {
+	env := MoreCrowded
+	var tables []*report.Table
+
+	cells := report.New("Fig 14a — harvester cell count (more-crowded)",
+		"cells", "discarded", "ibo", "reported", "highq-share")
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		setup := s
+		setup.Cells = n
+		res, err := setup.Run(SysQuetzal, env)
+		if err != nil {
+			return nil, err
+		}
+		cells.AddRow(report.N(n),
+			report.Pct(res.DiscardedFraction()),
+			report.Pct(res.IBOFraction()),
+			report.N(res.ReportedInteresting()),
+			report.Pct(res.HighQualityShare()))
+	}
+	cells.AddNote("vertical line in the paper: 6 cells (primary experiments)")
+	tables = append(tables, cells)
+
+	aw := report.New("Fig 14b — <arrival-window> (more-crowded)",
+		"arrival-window", "discarded", "ibo", "reported", "highq-share")
+	for _, w := range []int{32, 64, 128, 256, 512} {
+		setup := s
+		setup.ArrivalWindow = w
+		res, err := setup.Run(SysQuetzal, env)
+		if err != nil {
+			return nil, err
+		}
+		aw.AddRow(report.N(w),
+			report.Pct(res.DiscardedFraction()),
+			report.Pct(res.IBOFraction()),
+			report.N(res.ReportedInteresting()),
+			report.Pct(res.HighQualityShare()))
+	}
+	aw.AddNote("paper default: 256")
+	tables = append(tables, aw)
+
+	tw := report.New("Fig 14c — <task-window> (more-crowded)",
+		"task-window", "discarded", "ibo", "reported", "highq-share")
+	for _, w := range []int{16, 32, 64, 128} {
+		setup := s
+		setup.TaskWindow = w
+		res, err := setup.Run(SysQuetzal, env)
+		if err != nil {
+			return nil, err
+		}
+		tw.AddRow(report.N(w),
+			report.Pct(res.DiscardedFraction()),
+			report.Pct(res.IBOFraction()),
+			report.N(res.ReportedInteresting()),
+			report.Pct(res.HighQualityShare()))
+	}
+	tw.AddNote("paper default: 64")
+	tables = append(tables, tw)
+	return tables, nil
+}
+
+// CircuitStudy reproduces the §5.1 hardware-module characterisation: the
+// P_exe/P_in approximation error across temperature and the per-ratio
+// cost comparison against division on both MCUs.
+func CircuitStudy() []*report.Table {
+	errT := report.New("§5.1 — hardware module ratio error (V_ADCMax=0.6 V)",
+		"temp (°C)", "mean error", "max error", "exponent factor")
+	for _, tempC := range []float64{25, 30, 35, 40, 42, 45, 50} {
+		m := circuit.New(circuit.DefaultConfig())
+		m.SetTemperature(tempC)
+		var sum, max float64
+		n := 0
+		for pin := 1e-3; pin <= 0.2; pin *= 1.17 {
+			for r := 1.05; r <= 4.0; r *= 1.13 {
+				d1 := m.CodeForPower(pin)
+				d2 := m.CodeForPower(pin * r)
+				if d1 == 0 || d2 >= 255 {
+					continue
+				}
+				got := circuit.HardwareRatio(d1, d2)
+				e := abs(got-r) / r
+				sum += e
+				n++
+				if e > max {
+					max = e
+				}
+			}
+		}
+		errT.AddRow(report.F(tempC), report.Pct(sum/float64(n)), report.Pct(max), report.F(m.ExponentFactor()))
+	}
+	errT.AddNote("paper: ≤5.5%% error for 25–50 °C (average-case; worst case bounded by ±1.5 LSB quantisation)")
+
+	cost := report.New("§5.1 — per-ratio computation cost",
+		"mcu", "path", "cycles", "time (ns)", "energy (nJ)")
+	for _, mcu := range []device.MCU{device.MSP430MCU(), device.Apollo4MCU()} {
+		divName := "sw division"
+		if mcu.HasDivider {
+			divName = "hw divider"
+		}
+		cost.AddRow(mcu.Name, "quetzal module",
+			report.F(mcu.ModuleRatioTime*mcu.ClockHz),
+			report.F(mcu.ModuleRatioTime*1e9),
+			report.F(mcu.ModuleRatioEnergy*1e9))
+		cost.AddRow(mcu.Name, divName,
+			report.F(mcu.DivRatioTime*mcu.ClockHz),
+			report.F(mcu.DivRatioTime*1e9),
+			report.F(mcu.DivRatioEnergy*1e9))
+	}
+	cost.AddNote("paper: module saves 92.5%% ratio energy on MSP430, 62%% on Apollo 4")
+	return []*report.Table{errT, cost}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Table1 renders the experiment configuration, mirroring the paper's
+// Table 1.
+func (s Setup) Table1() *report.Table {
+	t := report.New("Table 1 — experiment details", "component", "values")
+	p := s.Profile
+	t.AddRow("compute", fmt.Sprintf("%s (input buffer = %d imgs)", p.MCU.Name, p.BufferCapacity))
+	t.AddRow("capture rate", fmt.Sprintf("%g FPS", 1/s.capturePeriod()))
+	t.AddRow("environments", "more-crowded: 600 s, crowded: 60 s, less-crowded: 20 s (max interesting duration)")
+	t.AddRow("high-q ml", fmt.Sprintf("%s (%.2gs, %.2gmW, FN %.0f%%)", p.MLOptions[0].Name,
+		p.MLOptions[0].Texe, p.MLOptions[0].Pexe*1e3, p.MLOptions[0].FalseNegative*100))
+	t.AddRow("low-q ml", fmt.Sprintf("%s (%.2gs, %.2gmW, FN %.0f%%)", p.MLOptions[1].Name,
+		p.MLOptions[1].Texe, p.MLOptions[1].Pexe*1e3, p.MLOptions[1].FalseNegative*100))
+	t.AddRow("high-q radio", fmt.Sprintf("%s (%.2gs, %.2gmW)", p.RadioOptions[0].Name,
+		p.RadioOptions[0].Texe, p.RadioOptions[0].Pexe*1e3))
+	t.AddRow("low-q radio", fmt.Sprintf("%s (%.2gs, %.2gmW)", p.RadioOptions[1].Name,
+		p.RadioOptions[1].Texe, p.RadioOptions[1].Pexe*1e3))
+	t.AddRow("quetzal params", "task-window=64, arrival-window=256, PID: Kp=5e-6 Ki=1e-6 Kd=1")
+	t.AddRow("harvester", fmt.Sprintf("%d cells, 250 mW reference peak, BQ25504-style store (33 mF)", s.Cells))
+	return t
+}

@@ -1,0 +1,223 @@
+package host
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"quetzal/internal/buffer"
+	"quetzal/internal/core"
+	"quetzal/internal/device"
+	"quetzal/internal/model"
+)
+
+// fakeClock advances a configurable amount per task execution.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64 { return c.t }
+
+// scriptedExecutor advances the clock by each option's Texe and classifies
+// by a fixed script.
+type scriptedExecutor struct {
+	clock     *fakeClock
+	positives map[uint64]bool // input seq → classification
+	calls     []string
+	fail      bool
+}
+
+func (e *scriptedExecutor) ExecuteTask(job *model.Job, taskIdx int, opt model.Option, in buffer.Input) (Outcome, error) {
+	if e.fail {
+		return Outcome{}, errors.New("boom")
+	}
+	e.clock.t += opt.Texe
+	e.calls = append(e.calls, job.Name+"/"+job.Tasks[taskIdx].Name+"@"+opt.Name)
+	return Outcome{Positive: e.positives[in.Seq]}, nil
+}
+
+func newLoop(t *testing.T, exec Executor, clock *fakeClock, app *model.App) *Loop {
+	t.Helper()
+	rt, err := core.New(core.Config{App: app, CapturePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(Config{
+		App:            app,
+		Controller:     rt,
+		Executor:       exec,
+		BufferCapacity: 10,
+		Now:            clock.now,
+		MeasurePower:   func() float64 { return 0.05 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewValidation(t *testing.T) {
+	app := device.Apollo4().PersonDetectionApp()
+	rt, _ := core.New(core.Config{App: app, CapturePeriod: 1})
+	exec := ExecutorFunc(func(*model.Job, int, model.Option, buffer.Input) (Outcome, error) {
+		return Outcome{}, nil
+	})
+	now := func() float64 { return 0 }
+	pow := func() float64 { return 0.01 }
+	cases := []Config{
+		{},
+		{App: app, Controller: rt, Executor: exec, BufferCapacity: 0, Now: now, MeasurePower: pow},
+		{App: app, Controller: rt, Executor: exec, BufferCapacity: 10, MeasurePower: pow},
+		{App: app, Controller: rt, Executor: exec, BufferCapacity: 10, Now: now},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+	bad := device.Apollo4().PersonDetectionApp()
+	bad.EntryJobID = 99
+	if _, err := New(Config{App: bad, Controller: rt, Executor: exec,
+		BufferCapacity: 10, Now: now, MeasurePower: pow}); err == nil {
+		t.Error("New accepted invalid app")
+	}
+}
+
+// A positive detect must run through the whole chain: detect, re-tag,
+// report (compress + radio), departure.
+func TestPositiveChainExecutes(t *testing.T) {
+	clock := &fakeClock{}
+	app := device.Apollo4().PersonDetectionApp()
+	exec := &scriptedExecutor{clock: clock, positives: map[uint64]bool{0: true}}
+	l := newLoop(t, exec, clock, app)
+
+	if !l.OnCapture(true, true) {
+		t.Fatal("capture rejected")
+	}
+	ran, err := l.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d jobs, want 2 (detect then report)", ran)
+	}
+	want := []string{
+		"detect/ml-inference@mobilenetv2",
+		"report/compress@jpeg-package",
+		"report/radio@full-image",
+	}
+	if len(exec.calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", exec.calls, want)
+	}
+	for i := range want {
+		if exec.calls[i] != want[i] {
+			t.Errorf("call %d = %q, want %q", i, exec.calls[i], want[i])
+		}
+	}
+	if l.Buffer().Len() != 0 {
+		t.Errorf("buffer len = %d after chain, want 0", l.Buffer().Len())
+	}
+	if l.JobsRun != 2 || l.Stored != 1 {
+		t.Errorf("counters: %+v", l)
+	}
+}
+
+// A negative classification ends the chain: no report job runs.
+func TestNegativeClassificationStopsChain(t *testing.T) {
+	clock := &fakeClock{}
+	app := device.Apollo4().PersonDetectionApp()
+	exec := &scriptedExecutor{clock: clock, positives: map[uint64]bool{}}
+	l := newLoop(t, exec, clock, app)
+	l.OnCapture(false, true)
+	ran, err := l.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d jobs, want 1 (detect only)", ran)
+	}
+	if len(exec.calls) != 1 || !strings.HasPrefix(exec.calls[0], "detect/") {
+		t.Errorf("calls = %v", exec.calls)
+	}
+	if l.Buffer().Len() != 0 {
+		t.Error("negative input not removed")
+	}
+}
+
+func TestPreFilteredCapturesTrainLambdaOnly(t *testing.T) {
+	clock := &fakeClock{}
+	app := device.Apollo4().PersonDetectionApp()
+	exec := &scriptedExecutor{clock: clock, positives: map[uint64]bool{}}
+	l := newLoop(t, exec, clock, app)
+	if l.OnCapture(false, false) {
+		t.Error("pre-filtered capture reported as stored")
+	}
+	if l.Buffer().Len() != 0 {
+		t.Error("pre-filtered capture entered the buffer")
+	}
+	if ok, _ := l.Step(); ok {
+		t.Error("Step ran a job with an empty buffer")
+	}
+}
+
+func TestBufferOverflowCounted(t *testing.T) {
+	clock := &fakeClock{}
+	app := device.Apollo4().PersonDetectionApp()
+	exec := &scriptedExecutor{clock: clock, positives: map[uint64]bool{}}
+	l := newLoop(t, exec, clock, app)
+	for i := 0; i < 12; i++ {
+		l.OnCapture(true, true)
+	}
+	if l.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", l.Dropped)
+	}
+}
+
+func TestExecutorErrorPropagates(t *testing.T) {
+	clock := &fakeClock{}
+	app := device.Apollo4().PersonDetectionApp()
+	exec := &scriptedExecutor{clock: clock, fail: true}
+	l := newLoop(t, exec, clock, app)
+	l.OnCapture(true, true)
+	if _, err := l.Step(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Step error = %v, want executor failure", err)
+	}
+}
+
+// Under pressure the controller's decisions flow through: flood the buffer
+// at low power and verify degraded options reach the executor.
+func TestDegradationReachesExecutor(t *testing.T) {
+	clock := &fakeClock{}
+	app := device.Apollo4().PersonDetectionApp()
+	exec := &scriptedExecutor{clock: clock, positives: map[uint64]bool{}}
+	rt, err := core.New(core.Config{App: app, CapturePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(Config{
+		App: app, Controller: rt, Executor: exec,
+		BufferCapacity: 10,
+		Now:            clock.now,
+		MeasurePower:   func() float64 { return 0.001 }, // 1 mW: charge-bound
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Teach λ ≈ 1 and fill the buffer.
+	for i := 0; i < 32; i++ {
+		l.OnCapture(true, true)
+		clock.t++
+	}
+	if _, err := l.Drain(5); err != nil {
+		t.Fatal(err)
+	}
+	degraded := false
+	for _, c := range exec.calls {
+		if strings.HasSuffix(c, "@lenet") || strings.HasSuffix(c, "@single-byte") {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Errorf("no degraded option reached the executor under pressure: %v", exec.calls)
+	}
+}
+
+var _ Executor = ExecutorFunc(nil)

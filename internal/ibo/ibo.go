@@ -1,0 +1,310 @@
+// Package ibo implements Quetzal's IBO-detection and reaction engine
+// (paper §4.2, Algorithm 2), completed with the queueing-theoretic
+// stability condition the algorithm needs to act early.
+//
+// Detection has two parts:
+//
+//  1. The burst check, Algorithm 2 verbatim: the expected arrivals during
+//     the scheduled job, λ·E[S], must not exceed the free buffer space
+//     (Little's Law over the job's horizon).
+//
+//  2. The utilization check: Little's Law in steady state says the queue
+//     diverges — guaranteeing an eventual overflow no matter how much
+//     space is free today — whenever the total work per arriving input
+//     exceeds the interarrival time, i.e. when
+//
+//     ρ = λ · Σ_jobs reach(job) · E[S](job) ≥ 1
+//
+//     where reach(job) is the probability an arriving input eventually
+//     needs that job (1 for the entry job, the tracked spawn probability
+//     for follow-up jobs). The paper's hardware/sim task costs are
+//     multi-second, so its burst check fires with room to spare; with
+//     sub-second tasks the burst check alone degenerates to a
+//     full-buffer trigger (CatNap), and the utilization check is what
+//     preserves the published behaviour.
+//
+// Reaction resolves a quality assignment for the whole spawn chain,
+// leaves first: each job takes the highest-quality option that keeps ρ
+// below 1 given the qualities already resolved downstream. Degradation
+// therefore lands on the task where it buys the most sustainable
+// throughput (typically the radio) before touching classifier quality,
+// exactly the "degrade only as much as required" contract of §4.2. If no
+// assignment stabilises the queue, every job runs its lowest-S_e2e option
+// "in order to reduce E[N]".
+package ibo
+
+import (
+	"quetzal/internal/model"
+	"quetzal/internal/queueing"
+	"quetzal/internal/sched"
+)
+
+// Input bundles what one engine evaluation needs.
+type Input struct {
+	App *model.App
+	Est sched.Estimator
+	// Lambda is the tracked input arrival rate (inputs/second).
+	Lambda float64
+	// FreeSlots is buffer_limit − current_occupancy.
+	FreeSlots int
+	// Capacity is buffer_limit. The utilization check is gated on the
+	// queue actually building (occupancy ≥ 20 % of capacity): a diverging
+	// arrival/service balance only matters once the buffer's slack can no
+	// longer absorb the remaining burst, and sub-capacity occupancy is
+	// exactly that slack.
+	Capacity int
+	// Correction is the PID output added to E[S] predictions (§4.3).
+	Correction float64
+	// SpawnProb returns the tracked probability that the given job's
+	// completion spawns its follow-up job. Ignored for jobs that spawn
+	// nothing. Nil means 1 (conservative).
+	SpawnProb func(jobID int) float64
+}
+
+// Decision is the engine's output for one scheduled job.
+type Decision struct {
+	// IBOPredicted reports whether an overflow was predicted with every
+	// job at its highest quality.
+	IBOPredicted bool
+	// Averted reports whether some quality assignment cleared both checks.
+	Averted bool
+	// OptionIdx is the selected option for the scheduled job's degradable
+	// task (0 = highest quality).
+	OptionIdx int
+	// ExpectedS is the scheduled job's E[S] at the chosen quality,
+	// including the PID correction.
+	ExpectedS float64
+	// Plan is the chain-wide quality assignment (jobID → option index for
+	// that job's degradable task).
+	Plan map[int]int
+}
+
+// Decide runs the engine for the scheduled job.
+func Decide(job *model.Job, in Input) Decision {
+	plan, _ := resolvePlan(in)
+
+	esBest := jobES(in, job, 0)
+	esPlanned := jobES(in, job, plannedOpt(plan, job))
+
+	d := Decision{
+		OptionIdx: plannedOpt(plan, job),
+		ExpectedS: esPlanned,
+		Plan:      plan,
+	}
+
+	bestOverflow := burstOverflow(in, esBest) || !utilizationOK(in, assignment{})
+	if !bestOverflow {
+		// No overflow at full quality: run the job undegraded.
+		d.OptionIdx = 0
+		d.ExpectedS = esBest
+		d.Plan = map[int]int{}
+		return d
+	}
+	d.IBOPredicted = true
+
+	// Escalate the scheduled job past the planned option until the burst
+	// check clears, preferring the highest quality that does.
+	di := job.DegradableTask()
+	if di >= 0 {
+		for opt := d.OptionIdx; opt < len(job.Tasks[di].Options); opt++ {
+			es := jobES(in, job, opt)
+			if !burstOverflow(in, es) {
+				d.OptionIdx = opt
+				d.ExpectedS = es
+				// The imminent (burst) overflow is averted at this option;
+				// long-run stability is the plan's concern.
+				d.Averted = true
+				return d
+			}
+		}
+		// Nothing clears the burst check: lowest S_e2e reduces E[N].
+		lowest, lowestES := 0, jobES(in, job, 0)
+		for opt := 1; opt < len(job.Tasks[di].Options); opt++ {
+			if es := jobES(in, job, opt); es < lowestES {
+				lowest, lowestES = opt, es
+			}
+		}
+		d.OptionIdx = lowest
+		d.ExpectedS = lowestES
+		return d
+	}
+	// No degradable task: the prediction stands, quality is fixed.
+	d.OptionIdx = 0
+	d.ExpectedS = esBest
+	return d
+}
+
+// burstOverflow is Algorithm 2 line 6: λ·E[S] ≥ free slots.
+func burstOverflow(in Input, es float64) bool {
+	return in.Lambda*es >= float64(in.FreeSlots)
+}
+
+// jobES returns the job's probability-weighted E[S] with its degradable
+// task at option opt, plus the PID correction, clamped non-negative.
+func jobES(in Input, job *model.Job, opt int) float64 {
+	di := job.DegradableTask()
+	es := sched.ExpectedService(job, in.Est, func(ti int) int {
+		if ti == di {
+			return opt
+		}
+		return 0
+	}) + in.Correction
+	if es < 0 {
+		return 0
+	}
+	return es
+}
+
+// spawnProb returns the tracked spawn probability for a job.
+func (in Input) spawnProb(jobID int) float64 {
+	if in.SpawnProb == nil {
+		return 1
+	}
+	p := in.SpawnProb(jobID)
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// reachProbs computes, for every job, the probability that an arriving
+// input eventually requires it, following spawn edges from the entry job.
+func reachProbs(in Input) map[int]float64 {
+	reach := map[int]float64{in.App.EntryJobID: 1}
+	// Spawn chains are acyclic and short; walk until fixpoint.
+	for i := 0; i < len(in.App.Jobs); i++ {
+		changed := false
+		for _, j := range in.App.Jobs {
+			r, ok := reach[j.ID]
+			if !ok || j.SpawnJobID == model.NoSpawn {
+				continue
+			}
+			contrib := r * in.spawnProb(j.ID)
+			if contrib > reach[j.SpawnJobID] {
+				reach[j.SpawnJobID] = contrib
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return reach
+}
+
+// assignment maps jobID → option index for that job's degradable task.
+type assignment map[int]int
+
+func plannedOpt(a assignment, job *model.Job) int {
+	if opt, ok := a[job.ID]; ok {
+		return opt
+	}
+	return 0
+}
+
+// utilization computes ρ = λ · Σ reach(job)·E[S](job@assignment).
+func (in Input) utilization(a assignment) float64 {
+	reach := reachProbs(in)
+	total := 0.0
+	for _, j := range in.App.Jobs {
+		r := reach[j.ID]
+		if r == 0 {
+			continue
+		}
+		total += r * jobES(in, j, plannedOpt(a, j))
+	}
+	return queueing.Utilization(in.Lambda, total)
+}
+
+// utilizationOK reports whether the assignment keeps the queue stable.
+// Below the occupancy gate the check passes trivially: the buffer still has
+// slack to absorb a finite burst even if ρ ≥ 1.
+func utilizationOK(in Input, a assignment) bool {
+	occupancy := in.Capacity - in.FreeSlots
+	if in.Capacity > 0 && occupancy*5 < in.Capacity {
+		return true
+	}
+	return in.utilization(a) < 1
+}
+
+// resolvePlan picks the chain-wide quality assignment: jobs are visited
+// leaves-first (deepest spawn first) and each takes the highest-quality
+// option that keeps ρ < 1 given what is already resolved. Returns the plan
+// and whether a stable assignment exists; when none does, every degradable
+// job is pinned to its lowest-S_e2e option.
+func resolvePlan(in Input) (assignment, bool) {
+	plan := assignment{}
+	if utilizationOK(in, plan) {
+		return plan, true // full quality is sustainable
+	}
+
+	order := leavesFirst(in.App)
+	// Start from the most degraded state, then raise each job (leaves
+	// first) to the best quality that keeps the system stable.
+	for _, j := range order {
+		if di := j.DegradableTask(); di >= 0 {
+			plan[j.ID] = cheapestOpt(in, j)
+		}
+	}
+	if !utilizationOK(in, plan) {
+		return plan, false // even fully degraded the queue diverges
+	}
+	for _, j := range order {
+		di := j.DegradableTask()
+		if di < 0 {
+			continue
+		}
+		for opt := 0; opt < len(j.Tasks[di].Options); opt++ {
+			trial := assignment{}
+			for k, v := range plan {
+				trial[k] = v
+			}
+			trial[j.ID] = opt
+			if utilizationOK(in, trial) {
+				plan[j.ID] = opt
+				break
+			}
+		}
+	}
+	return plan, true
+}
+
+// cheapestOpt returns the option index minimising the job's E[S].
+func cheapestOpt(in Input, job *model.Job) int {
+	di := job.DegradableTask()
+	best, bestES := 0, jobES(in, job, 0)
+	for opt := 1; opt < len(job.Tasks[di].Options); opt++ {
+		if es := jobES(in, job, opt); es < bestES {
+			best, bestES = opt, es
+		}
+	}
+	return best
+}
+
+// leavesFirst orders jobs so that spawn targets come before their spawners
+// (deepest first), starting from the entry chain; unreachable jobs follow in
+// definition order.
+func leavesFirst(app *model.App) []*model.Job {
+	var order []*model.Job
+	seen := map[int]bool{}
+	var walk func(j *model.Job)
+	walk = func(j *model.Job) {
+		if j == nil || seen[j.ID] {
+			return
+		}
+		seen[j.ID] = true
+		if j.SpawnJobID != model.NoSpawn {
+			walk(app.JobByID(j.SpawnJobID))
+		}
+		// Post-order: the spawn target lands before the spawner.
+		order = append(order, j)
+	}
+	walk(app.JobByID(app.EntryJobID))
+	for _, j := range app.Jobs {
+		walk(j)
+	}
+	return order
+}

@@ -1,0 +1,289 @@
+package ibo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quetzal/internal/model"
+)
+
+// fakeEstimator returns canned Se2e values per (jobID, taskIdx, optIdx) and
+// probability 1 unless overridden.
+type fakeEstimator struct {
+	se2e map[[3]int]float64
+	prob map[[2]int]float64
+}
+
+func (f *fakeEstimator) Se2e(jobID, taskIdx, optIdx int) float64 {
+	if v, ok := f.se2e[[3]int{jobID, taskIdx, optIdx}]; ok {
+		return v
+	}
+	return 1
+}
+
+func (f *fakeEstimator) Probability(jobID, taskIdx int) float64 {
+	if v, ok := f.prob[[2]int{jobID, taskIdx}]; ok {
+		return v
+	}
+	return 1
+}
+
+func opt(name string, texe float64) model.Option {
+	return model.Option{Name: name, Texe: texe, Pexe: 0.01}
+}
+
+// chainApp builds the person-detection shape: detect (ML, 2 options) spawns
+// report (compress + radio with 3 options).
+func chainApp() *model.App {
+	ml := &model.Task{Name: "ml", Kind: model.Classify,
+		Options: []model.Option{opt("hq", 2), opt("lq", 0.2)}}
+	compress := &model.Task{Name: "compress", Kind: model.Compute, Options: []model.Option{opt("c", 0.2)}}
+	radio := &model.Task{Name: "radio", Kind: model.Transmit,
+		Options: []model.Option{opt("full", 0.8), opt("half", 0.3), opt("byte", 0.05)}}
+	return &model.App{
+		Name: "chain",
+		Jobs: []*model.Job{
+			{ID: 0, Name: "detect", Tasks: []*model.Task{ml}, SpawnJobID: 1},
+			{ID: 1, Name: "report", Tasks: []*model.Task{compress, radio}, SpawnJobID: model.NoSpawn},
+		},
+		EntryJobID: 0, CaptureTexe: 0.01, CapturePexe: 0.01,
+	}
+}
+
+func input(app *model.App, est *fakeEstimator, lambda float64, free, capacity int, corr float64) Input {
+	return Input{App: app, Est: est, Lambda: lambda, FreeSlots: free, Capacity: capacity, Correction: corr}
+}
+
+func TestNoIBOWhenIdle(t *testing.T) {
+	app := chainApp()
+	est := &fakeEstimator{}
+	// λ tiny, buffer nearly empty: no prediction, highest quality.
+	d := Decide(app.JobByID(0), input(app, est, 0.05, 9, 10, 0))
+	if d.IBOPredicted || d.OptionIdx != 0 {
+		t.Errorf("decision = %+v, want no IBO at full quality", d)
+	}
+	if len(d.Plan) != 0 {
+		t.Errorf("plan = %v, want empty (no degradation)", d.Plan)
+	}
+}
+
+func TestBurstCheckBoundaryInclusive(t *testing.T) {
+	app := chainApp()
+	est := &fakeEstimator{se2e: map[[3]int]float64{
+		{0, 0, 0}: 6, {0, 0, 1}: 0.5,
+	}}
+	// λ·E[S] = 1·6 = 6 ≥ 6 free: Algorithm 2 line 6 uses ≥ — predicted.
+	// Occupancy 4/10 is above the 20 % utilization gate, but stability is
+	// fine at LQ; the burst escalation lands on option 1.
+	d := Decide(app.JobByID(0), input(app, est, 1, 6, 10, 0))
+	if !d.IBOPredicted {
+		t.Error("IBO not predicted at the ≥ boundary")
+	}
+	if d.OptionIdx != 1 || !d.Averted {
+		t.Errorf("decision = %+v, want degraded to option 1 and averted", d)
+	}
+}
+
+func TestUtilizationDetectsDivergence(t *testing.T) {
+	app := chainApp()
+	// Per-input work at full quality: detect 2 + report (0.2+0.8) = 3 s at
+	// λ = 1 → ρ = 3 ≥ 1. Plenty of free slots (6), so the burst check alone
+	// would stay silent — the utilization check must fire once occupancy
+	// (4/10) is past the gate.
+	est := &fakeEstimator{se2e: map[[3]int]float64{
+		{0, 0, 0}: 2, {0, 0, 1}: 0.2,
+		{1, 0, 0}: 0.2,
+		{1, 1, 0}: 0.8, {1, 1, 1}: 0.3, {1, 1, 2}: 0.05,
+	}}
+	d := Decide(app.JobByID(0), input(app, est, 1, 6, 10, 0))
+	if !d.IBOPredicted {
+		t.Fatal("utilization divergence not predicted")
+	}
+	// The plan degrades the radio first (leaves-first); with the radio at
+	// byte quality, ρ = 1·(2 + 0.2 + 0.05) = 2.25 ≥ 1, so the ML degrades
+	// too: ρ = 0.2+0.25 = 0.45 < 1.
+	if d.Plan[1] == 0 {
+		t.Errorf("plan = %v, want report radio degraded", d.Plan)
+	}
+	if d.OptionIdx == 0 {
+		t.Errorf("detect not degraded despite ρ ≥ 1 at ML HQ: %+v", d)
+	}
+}
+
+func TestLeavesFirstPrefersRadioDegradation(t *testing.T) {
+	app := chainApp()
+	// Radio degradation alone stabilises: detect 0.4 + report 0.2+0.05 =
+	// 0.65 < 1 at λ=1, while all-HQ is 0.4+1.0 = 1.4 ≥ 1. The ML must stay
+	// at high quality.
+	est := &fakeEstimator{se2e: map[[3]int]float64{
+		{0, 0, 0}: 0.4, {0, 0, 1}: 0.1,
+		{1, 0, 0}: 0.2,
+		{1, 1, 0}: 0.8, {1, 1, 1}: 0.3, {1, 1, 2}: 0.05,
+	}}
+	d := Decide(app.JobByID(0), input(app, est, 1, 5, 10, 0))
+	if !d.IBOPredicted {
+		t.Fatal("no prediction despite ρ = 1.4 at full quality")
+	}
+	if d.OptionIdx != 0 {
+		t.Errorf("ML degraded to %d, want 0 (radio degradation suffices)", d.OptionIdx)
+	}
+	if d.Plan[1] != 1 {
+		t.Errorf("plan = %v, want radio at option 1 (highest stable quality)", d.Plan)
+	}
+}
+
+func TestOccupancyGateSuppressesUtilizationCheck(t *testing.T) {
+	app := chainApp()
+	est := &fakeEstimator{se2e: map[[3]int]float64{
+		{0, 0, 0}: 2,
+		{1, 1, 0}: 2,
+	}}
+	// ρ ≈ 5 at λ=1, but the buffer is nearly empty (1/10 used): the slack
+	// absorbs the burst, no prediction yet.
+	d := Decide(app.JobByID(0), input(app, est, 1, 9, 10, 0))
+	if d.IBOPredicted {
+		t.Errorf("predicted with 9 free slots and E[S]=2: %+v", d)
+	}
+}
+
+func TestSpawnProbabilityScalesDownstreamWork(t *testing.T) {
+	app := chainApp()
+	est := &fakeEstimator{se2e: map[[3]int]float64{
+		{0, 0, 0}: 0.4,
+		{1, 0, 0}: 0.2,
+		{1, 1, 0}: 1.0,
+	}}
+	in := input(app, est, 1, 5, 10, 0)
+	// With certain spawning, ρ = 0.4 + 1.2 = 1.6 ≥ 1 → predicted.
+	if d := Decide(app.JobByID(0), in); !d.IBOPredicted {
+		t.Error("no prediction with spawn probability 1")
+	}
+	// With rare spawning, ρ = 0.4 + 0.1·1.2 = 0.52 < 1 → clean.
+	in.SpawnProb = func(jobID int) float64 { return 0.1 }
+	if d := Decide(app.JobByID(0), in); d.IBOPredicted {
+		t.Error("predicted despite spawn probability 0.1")
+	}
+}
+
+func TestFallbackToCheapestWhenNothingClears(t *testing.T) {
+	app := chainApp()
+	est := &fakeEstimator{se2e: map[[3]int]float64{
+		{0, 0, 0}: 9, {0, 0, 1}: 6,
+	}}
+	// Full buffer: free 0 → λ·E[S] ≥ 0 for every option; choose lowest S_e2e.
+	d := Decide(app.JobByID(0), input(app, est, 1, 0, 10, 0))
+	if !d.IBOPredicted || d.Averted {
+		t.Fatalf("decision = %+v, want predicted and not averted", d)
+	}
+	if d.OptionIdx != 1 {
+		t.Errorf("OptionIdx = %d, want cheapest (1)", d.OptionIdx)
+	}
+}
+
+func TestNonDegradableJobKeepsPrediction(t *testing.T) {
+	fixed := &model.Job{ID: 2, Name: "fixed", Tasks: []*model.Task{
+		{Name: "t", Kind: model.Compute, Options: []model.Option{opt("only", 5)}},
+	}, SpawnJobID: model.NoSpawn}
+	app := &model.App{Name: "a", Jobs: []*model.Job{fixed}, EntryJobID: 2,
+		CaptureTexe: 0.01, CapturePexe: 0.01}
+	est := &fakeEstimator{se2e: map[[3]int]float64{{2, 0, 0}: 5}}
+	d := Decide(fixed, input(app, est, 1, 3, 10, 0))
+	if !d.IBOPredicted || d.Averted || d.OptionIdx != 0 {
+		t.Errorf("decision = %+v, want predicted, not averted, option 0", d)
+	}
+}
+
+func TestPIDCorrectionInflates(t *testing.T) {
+	app := chainApp()
+	est := &fakeEstimator{se2e: map[[3]int]float64{
+		{0, 0, 0}: 2,
+	}}
+	// Without correction: λ·2 = 2 < 4 free, occupancy below gate... use
+	// occupancy 6 (free 4): gate passed; ρ = 1·(2+1) = 3 ≥ 1 → predicted
+	// anyway. Use lambda 0.2 to keep ρ < 1: ρ = 0.64, burst 0.4 < 4.
+	d := Decide(app.JobByID(0), input(app, est, 0.2, 4, 10, 0))
+	if d.IBOPredicted {
+		t.Fatalf("unexpected prediction without correction: %+v", d)
+	}
+	// A +20 s correction inflates E[S]: burst check 0.2·22 = 4.4 ≥ 4.
+	d = Decide(app.JobByID(0), input(app, est, 0.2, 4, 10, 20))
+	if !d.IBOPredicted {
+		t.Error("positive PID correction did not inflate the prediction")
+	}
+}
+
+func TestNegativeCorrectionClamps(t *testing.T) {
+	app := chainApp()
+	est := &fakeEstimator{}
+	d := Decide(app.JobByID(0), input(app, est, 1, 1, 10, -100))
+	if d.ExpectedS < 0 {
+		t.Errorf("ExpectedS = %g, want clamped ≥ 0", d.ExpectedS)
+	}
+}
+
+func TestFullBufferAlwaysPredicts(t *testing.T) {
+	app := chainApp()
+	d := Decide(app.JobByID(0), input(app, &fakeEstimator{}, 0.5, 0, 10, 0))
+	if !d.IBOPredicted {
+		t.Error("full buffer (0 free slots) must always predict an IBO")
+	}
+}
+
+// Property: the decision is internally consistent — option in range,
+// non-negative E[S], degradation only under prediction, and an averted
+// decision really clears the burst check.
+func TestPropertyDecisionConsistent(t *testing.T) {
+	app := chainApp()
+	f := func(lambdaRaw, s0, s1, base uint8, free uint8, corrRaw int8) bool {
+		lambda := float64(lambdaRaw%40) / 10
+		est := &fakeEstimator{se2e: map[[3]int]float64{
+			{0, 0, 0}: float64(s0%40)/2 + 0.01,
+			{0, 0, 1}: float64(s1%40)/8 + 0.01,
+			{1, 0, 0}: float64(base%20)/4 + 0.01,
+		}}
+		slots := int(free % 11)
+		corr := float64(corrRaw) / 16
+		d := Decide(app.JobByID(0), input(app, est, lambda, slots, 10, corr))
+		if d.OptionIdx < 0 || d.OptionIdx >= 2 {
+			return false
+		}
+		if d.ExpectedS < 0 {
+			return false
+		}
+		if !d.IBOPredicted && d.OptionIdx != 0 {
+			return false
+		}
+		if d.Averted && lambda*d.ExpectedS >= float64(slots) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachProbsChain(t *testing.T) {
+	app := chainApp()
+	in := input(app, &fakeEstimator{}, 1, 5, 10, 0)
+	in.SpawnProb = func(jobID int) float64 { return 0.4 }
+	reach := reachProbs(in)
+	if reach[0] != 1 {
+		t.Errorf("entry reach = %g, want 1", reach[0])
+	}
+	if reach[1] != 0.4 {
+		t.Errorf("spawned reach = %g, want 0.4", reach[1])
+	}
+}
+
+func TestLeavesFirstOrder(t *testing.T) {
+	app := chainApp()
+	order := leavesFirst(app)
+	if len(order) != 2 || order[0].ID != 1 || order[1].ID != 0 {
+		ids := []int{}
+		for _, j := range order {
+			ids = append(ids, j.ID)
+		}
+		t.Errorf("order = %v, want [1 0] (spawn target first)", ids)
+	}
+}

@@ -1,0 +1,221 @@
+// Package metrics defines the result accounting shared by the simulator and
+// the experiment harness. The paper's evaluation reads three families of
+// numbers from each run (Figures 8–13):
+//
+//   - interesting inputs discarded, split into losses at the buffer
+//     boundary (IBOs) and classifier false negatives;
+//   - radio packets reported, split by quality (high = auditable full
+//     image, low = single byte) and ground truth (interesting vs
+//     uninteresting false positives); and
+//   - capture losses, for the capture-rate-degradation study (Fig 2b).
+package metrics
+
+import "fmt"
+
+// Results accumulates everything one simulation run produces.
+type Results struct {
+	System      string  // name of the system/policy under test
+	Environment string  // sensing environment label
+	SimSeconds  float64 // simulated wall-clock
+
+	// Capture pipeline.
+	Captures      int // frames the camera captured
+	CaptureMisses int // frames lost because the device was browned out
+	// MissedInteresting counts capture misses that overlapped an
+	// interesting event (lost before even reaching the buffer).
+	MissedInteresting int
+
+	// Buffer boundary. Arrivals are diff-positive frames offered to the
+	// buffer (plus re-insertions are tracked separately by the buffer).
+	Arrivals            int
+	InterestingArrivals int
+	IBODropsInteresting int // interesting inputs lost to buffer overflow on first arrival
+	IBODropsOther       int
+	// Re-insertion losses: an input survived its first stage but its
+	// follow-up job (e.g. report after a positive classification) was lost
+	// to a full buffer. These are IBO losses too — the event goes
+	// unreported — but they are accounted separately because the input was
+	// already judged by the classifier.
+	IBOReinsertInteresting int
+	IBOReinsertOther       int
+
+	// Classifier outcomes.
+	FalseNegatives int // interesting inputs discarded by the classifier
+	TrueNegatives  int // uninteresting inputs correctly discarded
+	FalsePositives int // uninteresting inputs passed on to reporting
+	TruePositives  int // interesting inputs passed on to reporting
+
+	// Radio packets.
+	HighQInteresting   int
+	LowQInteresting    int
+	HighQUninteresting int
+	LowQUninteresting  int
+
+	// Queueing instrumentation (Little's-Law validation).
+	OccupancyIntegral float64 // ∫ occupancy dt over the run, in input·seconds
+	SojournSum        float64 // total capture→departure time of completed inputs
+	SojournCount      int     // inputs that fully left the system
+
+	// Intermittent execution.
+	AtomicRestarts int // atomic tasks restarted after a power failure
+	// JobAborts counts jobs abandoned by the watchdog after too many
+	// progress-losing restarts (a task whose energy cost exceeds what the
+	// store can bank can never complete without checkpointing).
+	JobAborts          int
+	AbortedInteresting int // aborted jobs whose input was interesting
+
+	// OptionUsage counts, per option index, how many times a degradable
+	// task executed at that quality (index 0 = highest). Sized to the
+	// §5.1 library limit of 4 options per task.
+	OptionUsage [4]int
+
+	// Runtime behaviour.
+	JobsCompleted    int
+	Degradations     int // jobs executed with a degraded option
+	IBOPredictions   int // Algorithm 2 detections
+	IBOsAverted      int // detections cleared by a degradation option
+	Brownouts        int
+	SchedInvocations int
+	OverheadSeconds  float64
+	OverheadJoules   float64
+	HarvestedJoules  float64
+	ConsumedJoules   float64
+}
+
+// IBOLossesInteresting totals interesting inputs lost at the buffer
+// boundary, whether on first arrival or on re-insertion.
+func (r Results) IBOLossesInteresting() int {
+	return r.IBODropsInteresting + r.IBOReinsertInteresting
+}
+
+// InterestingDiscarded is the paper's headline metric: interesting inputs
+// lost to IBOs plus those lost to classifier false negatives.
+func (r Results) InterestingDiscarded() int {
+	return r.IBOLossesInteresting() + r.FalseNegatives
+}
+
+// DiscardedFraction returns InterestingDiscarded as a fraction of all
+// interesting inputs that arrived at the buffer ("% of all interesting
+// inputs" in Figures 9–11).
+func (r Results) DiscardedFraction() float64 {
+	if r.InterestingArrivals == 0 {
+		return 0
+	}
+	return float64(r.InterestingDiscarded()) / float64(r.InterestingArrivals)
+}
+
+// IBOFraction returns only the IBO share of the discarded fraction.
+func (r Results) IBOFraction() float64 {
+	if r.InterestingArrivals == 0 {
+		return 0
+	}
+	return float64(r.IBOLossesInteresting()) / float64(r.InterestingArrivals)
+}
+
+// ReportedInteresting returns the interesting inputs the device reported.
+func (r Results) ReportedInteresting() int {
+	return r.HighQInteresting + r.LowQInteresting
+}
+
+// HighQualityShare returns the fraction of reported interesting inputs that
+// were sent at high quality (full images), in [0,1].
+func (r Results) HighQualityShare() float64 {
+	tot := r.ReportedInteresting()
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.HighQInteresting) / float64(tot)
+}
+
+// TotalPackets counts every transmission.
+func (r Results) TotalPackets() int {
+	return r.HighQInteresting + r.LowQInteresting + r.HighQUninteresting + r.LowQUninteresting
+}
+
+// CaptureMissFraction returns the fraction of interesting activity lost at
+// capture time (Fig 2b's "fails to even capture" losses): missed interesting
+// captures over missed + arrived.
+func (r Results) CaptureMissFraction() float64 {
+	tot := r.MissedInteresting + r.InterestingArrivals
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.MissedInteresting) / float64(tot)
+}
+
+// AvgOccupancy returns the time-averaged buffer occupancy in inputs.
+func (r Results) AvgOccupancy() float64 {
+	if r.SimSeconds <= 0 {
+		return 0
+	}
+	return r.OccupancyIntegral / r.SimSeconds
+}
+
+// AvgSojourn returns the mean capture→departure time of completed inputs.
+func (r Results) AvgSojourn() float64 {
+	if r.SojournCount == 0 {
+		return 0
+	}
+	return r.SojournSum / float64(r.SojournCount)
+}
+
+// Throughput returns completed inputs per second.
+func (r Results) Throughput() float64 {
+	if r.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(r.SojournCount) / r.SimSeconds
+}
+
+// DegradationRate returns degraded jobs over completed jobs.
+func (r Results) DegradationRate() float64 {
+	if r.JobsCompleted == 0 {
+		return 0
+	}
+	return float64(r.Degradations) / float64(r.JobsCompleted)
+}
+
+// Check validates internal consistency; the simulator calls it at the end
+// of every run so accounting bugs fail loudly in tests and experiments.
+func (r Results) Check() error {
+	if r.Captures < 0 || r.Arrivals < 0 || r.InterestingArrivals < 0 {
+		return fmt.Errorf("metrics: negative counters: %+v", r)
+	}
+	if r.InterestingArrivals > r.Arrivals {
+		return fmt.Errorf("metrics: interesting arrivals %d exceed arrivals %d",
+			r.InterestingArrivals, r.Arrivals)
+	}
+	if r.IBODropsInteresting > r.InterestingArrivals {
+		return fmt.Errorf("metrics: IBO drops %d exceed interesting arrivals %d",
+			r.IBODropsInteresting, r.InterestingArrivals)
+	}
+	// An interesting input can be discarded by a classifier at most once
+	// (a negative verdict removes it), so false negatives plus entry-drops
+	// cannot exceed arrivals. True positives may exceed arrivals when a
+	// chain holds several classifiers, so they are excluded.
+	if r.FalseNegatives+r.IBODropsInteresting > r.InterestingArrivals {
+		return fmt.Errorf("metrics: interesting accounting overflow: FN %d + IBO %d > arrivals %d",
+			r.FalseNegatives, r.IBODropsInteresting, r.InterestingArrivals)
+	}
+	if r.IBOsAverted > r.IBOPredictions {
+		return fmt.Errorf("metrics: averted %d exceeds predictions %d", r.IBOsAverted, r.IBOPredictions)
+	}
+	if r.IBOReinsertInteresting > r.TruePositives {
+		return fmt.Errorf("metrics: reinsertion losses %d exceed true positives %d",
+			r.IBOReinsertInteresting, r.TruePositives)
+	}
+	// Reports are bounded by positive classifications — when the app has a
+	// classifier at all (transmit-only apps report unclassified inputs).
+	if r.TruePositives+r.FalseNegatives > 0 && r.ReportedInteresting() > r.TruePositives {
+		return fmt.Errorf("metrics: reported interesting %d exceeds true positives %d",
+			r.ReportedInteresting(), r.TruePositives)
+	}
+	return nil
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	return fmt.Sprintf("%s/%s: discarded %d (IBO %d, FN %d) of %d interesting; reported %d (HQ %d); degraded %d/%d jobs",
+		r.System, r.Environment, r.InterestingDiscarded(), r.IBOLossesInteresting(), r.FalseNegatives,
+		r.InterestingArrivals, r.ReportedInteresting(), r.HighQInteresting, r.Degradations, r.JobsCompleted)
+}

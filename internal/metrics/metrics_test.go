@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Results {
+	return Results{
+		System:                 "quetzal",
+		Environment:            "crowded",
+		Captures:               1000,
+		Arrivals:               400,
+		InterestingArrivals:    200,
+		IBODropsInteresting:    20,
+		IBODropsOther:          10,
+		IBOReinsertInteresting: 5,
+		IBOReinsertOther:       1,
+		FalseNegatives:         15,
+		TruePositives:          160,
+		TrueNegatives:          150,
+		FalsePositives:         20,
+		HighQInteresting:       100,
+		LowQInteresting:        55,
+		HighQUninteresting:     12,
+		LowQUninteresting:      8,
+		JobsCompleted:          500,
+		Degradations:           120,
+		IBOPredictions:         130,
+		IBOsAverted:            110,
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	r := sample()
+	if got := r.IBOLossesInteresting(); got != 25 {
+		t.Errorf("IBOLossesInteresting = %d, want 25", got)
+	}
+	if got := r.InterestingDiscarded(); got != 40 {
+		t.Errorf("InterestingDiscarded = %d, want 40", got)
+	}
+	if got := r.DiscardedFraction(); got != 40.0/200 {
+		t.Errorf("DiscardedFraction = %g, want 0.2", got)
+	}
+	if got := r.IBOFraction(); got != 0.125 {
+		t.Errorf("IBOFraction = %g, want 0.125", got)
+	}
+	if got := r.ReportedInteresting(); got != 155 {
+		t.Errorf("ReportedInteresting = %d, want 155", got)
+	}
+	if got := r.HighQualityShare(); got != 100.0/155 {
+		t.Errorf("HighQualityShare = %g", got)
+	}
+	if got := r.TotalPackets(); got != 175 {
+		t.Errorf("TotalPackets = %d, want 175", got)
+	}
+	if got := r.DegradationRate(); got != 0.24 {
+		t.Errorf("DegradationRate = %g, want 0.24", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var r Results
+	if r.DiscardedFraction() != 0 || r.IBOFraction() != 0 ||
+		r.HighQualityShare() != 0 || r.DegradationRate() != 0 ||
+		r.CaptureMissFraction() != 0 {
+		t.Error("zero-denominator metrics must return 0")
+	}
+}
+
+func TestCaptureMissFraction(t *testing.T) {
+	r := Results{MissedInteresting: 25, InterestingArrivals: 75}
+	if got := r.CaptureMissFraction(); got != 0.25 {
+		t.Errorf("CaptureMissFraction = %g, want 0.25", got)
+	}
+}
+
+func TestCheckAcceptsConsistent(t *testing.T) {
+	if err := sample().Check(); err != nil {
+		t.Errorf("Check on consistent results: %v", err)
+	}
+	if err := (Results{}).Check(); err != nil {
+		t.Errorf("Check on zero results: %v", err)
+	}
+}
+
+func TestCheckCatchesInconsistencies(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Results)
+		want   string
+	}{
+		{"negative", func(r *Results) { r.Captures = -1 }, "negative"},
+		{"interesting>arrivals", func(r *Results) { r.InterestingArrivals = r.Arrivals + 1 }, "exceed arrivals"},
+		{"ibo>interesting", func(r *Results) { r.IBODropsInteresting = r.InterestingArrivals + 1 }, "exceed interesting"},
+		{"overflow", func(r *Results) { r.FalseNegatives = 1000; r.HighQInteresting = 0; r.LowQInteresting = 0 }, "accounting overflow"},
+		{"averted>predicted", func(r *Results) { r.IBOsAverted = r.IBOPredictions + 1 }, "averted"},
+		{"reinsert>tp", func(r *Results) { r.IBOReinsertInteresting = r.TruePositives + 1 }, "reinsertion losses"},
+		{"reported>tp", func(r *Results) {
+			r.HighQInteresting = 1000
+			r.TruePositives = 1001
+			r.InterestingArrivals = 2000
+			r.Arrivals = 2000
+			r.IBODropsInteresting = 0
+			r.FalseNegatives = 0
+		}, "exceeds true positives"},
+	}
+	for _, tc := range cases {
+		r := sample()
+		tc.mutate(&r)
+		err := r.Check()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Check = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCheckReportedVsTruePositives(t *testing.T) {
+	r := sample()
+	r.HighQInteresting = 200
+	if err := r.Check(); err == nil {
+		t.Error("Check accepted more reports than true positives")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sample().String()
+	for _, frag := range []string{"quetzal", "crowded", "IBO 25", "FN 15"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestQueueingInstrumentationMetrics(t *testing.T) {
+	r := Results{
+		SimSeconds:        100,
+		OccupancyIntegral: 250,
+		SojournSum:        90,
+		SojournCount:      30,
+	}
+	if got := r.AvgOccupancy(); got != 2.5 {
+		t.Errorf("AvgOccupancy = %g, want 2.5", got)
+	}
+	if got := r.AvgSojourn(); got != 3 {
+		t.Errorf("AvgSojourn = %g, want 3", got)
+	}
+	if got := r.Throughput(); got != 0.3 {
+		t.Errorf("Throughput = %g, want 0.3", got)
+	}
+	// Little's Law on the metric definitions themselves.
+	if l, lw := r.AvgOccupancy(), r.Throughput()*r.AvgSojourn(); l < lw {
+		// L ≥ λ·W here because the integral also counts inputs that never
+		// completed; with these synthetic numbers the inequality direction
+		// is fixed.
+		t.Errorf("L = %g < λW = %g for synthetic data", l, lw)
+	}
+	var zero Results
+	if zero.AvgOccupancy() != 0 || zero.AvgSojourn() != 0 || zero.Throughput() != 0 {
+		t.Error("zero-duration instrumentation metrics must be 0")
+	}
+}

@@ -1,0 +1,145 @@
+// Package pid implements the Proportional–Integral–Derivative controller
+// Quetzal uses to mitigate E[S] prediction error (paper §4.3).
+//
+// The controller's error signal is (observed − predicted) job service time.
+// Its output is added to future E[S] predictions: positive error ("job took
+// longer than predicted, the buffer may be fuller than we thought") inflates
+// future predictions, making task degradation more likely; negative error
+// deflates them, letting the device keep task quality high.
+//
+// The implementation follows the structure of the C reference the paper
+// cites [69]: band-limited derivative on measurement, trapezoidal integral,
+// both integral anti-windup clamping and output clamping.
+package pid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds controller gains and limits. Gains default to the paper's
+// Table 1 values (K_p = 5e-6, K_i = 1e-6, K_d = 1).
+type Config struct {
+	Kp, Ki, Kd float64
+	// Tau is the derivative low-pass filter time constant in seconds.
+	// Zero disables filtering (pure derivative).
+	Tau float64
+	// OutMin/OutMax clamp the controller output. Zero values mean
+	// "unbounded" in that direction only when both are zero.
+	OutMin, OutMax float64
+	// IntMin/IntMax clamp the integrator (anti-windup). Both zero means
+	// the integrator inherits the output limits.
+	IntMin, IntMax float64
+}
+
+// DefaultConfig returns the paper's Table 1 gains with output limits sized
+// for service-time corrections in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Kp: 5e-6, Ki: 1e-6, Kd: 1,
+		Tau:    0.5,
+		OutMin: -30, OutMax: 30,
+	}
+}
+
+// Controller is a discrete PID controller. Construct with New.
+type Controller struct {
+	cfg Config
+
+	integrator float64
+	prevError  float64
+	derivative float64
+	out        float64
+	primed     bool // true once the first update has run
+}
+
+// New returns a controller with the given configuration.
+// It panics on a non-positive sample-independent configuration error
+// (inverted limits).
+func New(cfg Config) *Controller {
+	if cfg.OutMax < cfg.OutMin {
+		panic(fmt.Sprintf("pid: OutMax %g < OutMin %g", cfg.OutMax, cfg.OutMin))
+	}
+	if cfg.IntMin == 0 && cfg.IntMax == 0 {
+		cfg.IntMin, cfg.IntMax = cfg.OutMin, cfg.OutMax
+	}
+	if cfg.IntMax < cfg.IntMin {
+		panic(fmt.Sprintf("pid: IntMax %g < IntMin %g", cfg.IntMax, cfg.IntMin))
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Update advances the controller by one sample. predicted and observed are
+// the predicted and observed job service times in seconds; dt is the time
+// since the previous update in seconds. It returns the new output.
+func (c *Controller) Update(predicted, observed, dt float64) float64 {
+	if dt <= 0 {
+		// A zero-length step carries no new information; hold the output.
+		return c.out
+	}
+	err := observed - predicted
+	if math.IsNaN(err) || math.IsInf(err, 0) {
+		// A corrupt measurement (sensor glitch, overflow) must not poison
+		// the controller state; hold the output and wait for a sane sample.
+		return c.out
+	}
+
+	p := c.cfg.Kp * err
+
+	// Trapezoidal integral with anti-windup clamping.
+	if c.primed {
+		c.integrator += 0.5 * c.cfg.Ki * dt * (err + c.prevError)
+	} else {
+		c.integrator += c.cfg.Ki * dt * err
+	}
+	c.integrator = clamp(c.integrator, c.cfg.IntMin, c.cfg.IntMax)
+
+	// Band-limited derivative of the *error*. Textbook PID often
+	// differentiates the measurement to avoid setpoint kick, but here the
+	// "setpoint" is a per-job prediction that legitimately jumps between
+	// job types (a 2 s inference vs a 0.05 s packet); differentiating the
+	// measurement would inject that heterogeneity as noise. The error
+	// stays near zero while predictions are accurate, so its derivative
+	// reacts only to genuine drift.
+	if c.primed {
+		raw := (err - c.prevError) / dt
+		if math.IsInf(raw, 0) || math.IsNaN(raw) {
+			raw = c.derivative // jump overflowed; hold the filter state
+		}
+		if c.cfg.Tau > 0 {
+			alpha := dt / (c.cfg.Tau + dt)
+			c.derivative += alpha * (raw - c.derivative)
+		} else {
+			c.derivative = raw
+		}
+	}
+	d := c.cfg.Kd * c.derivative
+
+	c.out = clamp(p+c.integrator+d, c.cfg.OutMin, c.cfg.OutMax)
+	c.prevError = err
+	c.primed = true
+	return c.out
+}
+
+// Output returns the current controller output without updating it. The
+// runtime adds this to each new E[S] prediction.
+func (c *Controller) Output() float64 { return c.out }
+
+// Reset returns the controller to its initial state.
+func (c *Controller) Reset() {
+	c.integrator, c.prevError, c.derivative, c.out = 0, 0, 0, 0
+	c.primed = false
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if lo == 0 && hi == 0 {
+		return v // unbounded
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,205 @@
+package pid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Kp != 5e-6 || cfg.Ki != 1e-6 || cfg.Kd != 1 {
+		t.Errorf("gains = (%g,%g,%g), want Table 1 values (5e-6, 1e-6, 1)", cfg.Kp, cfg.Ki, cfg.Kd)
+	}
+}
+
+func TestNewPanicsOnInvertedLimits(t *testing.T) {
+	cases := []Config{
+		{OutMin: 1, OutMax: -1},
+		{OutMin: -1, OutMax: 1, IntMin: 5, IntMax: 2},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestZeroErrorKeepsZeroOutput(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := 0; i < 50; i++ {
+		if out := c.Update(10, 10, 1); out != 0 {
+			t.Fatalf("step %d: output %g for zero error, want 0", i, out)
+		}
+	}
+}
+
+// Positive error (jobs slower than predicted) must produce a positive
+// correction so future predictions inflate (paper §4.3).
+func TestPositiveErrorInflatesOutput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kd = 0 // isolate the P+I response to a step error
+	c := New(cfg)
+	var out float64
+	for i := 0; i < 100; i++ {
+		out = c.Update(10, 15, 1)
+	}
+	if out <= 0 {
+		t.Errorf("output = %g after persistent positive error, want > 0", out)
+	}
+}
+
+func TestNegativeErrorDeflatesOutput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kd = 0
+	c := New(cfg)
+	var out float64
+	for i := 0; i < 100; i++ {
+		out = c.Update(15, 10, 1)
+	}
+	if out >= 0 {
+		t.Errorf("output = %g after persistent negative error, want < 0", out)
+	}
+}
+
+func TestIntegralAccumulates(t *testing.T) {
+	cfg := Config{Ki: 1, OutMin: -100, OutMax: 100}
+	c := New(cfg)
+	c.Update(0, 1, 1) // first sample: rectangular, integral = 1
+	out1 := c.Output()
+	c.Update(0, 1, 1) // trapezoid: + 0.5*(1+1) = 1 → integral = 2
+	out2 := c.Output()
+	if math.Abs(out1-1) > 1e-12 || math.Abs(out2-2) > 1e-12 {
+		t.Errorf("integral outputs = %g, %g, want 1, 2", out1, out2)
+	}
+}
+
+func TestOutputClamping(t *testing.T) {
+	cfg := Config{Kp: 1000, OutMin: -2, OutMax: 2}
+	c := New(cfg)
+	if out := c.Update(0, 100, 1); out != 2 {
+		t.Errorf("output = %g, want clamped to 2", out)
+	}
+	if out := c.Update(100, 0, 1); out != -2 {
+		t.Errorf("output = %g, want clamped to -2", out)
+	}
+}
+
+func TestAntiWindup(t *testing.T) {
+	cfg := Config{Ki: 1, OutMin: -1, OutMax: 1}
+	c := New(cfg)
+	// Saturate the integrator far beyond the clamp.
+	for i := 0; i < 100; i++ {
+		c.Update(0, 10, 1)
+	}
+	// With anti-windup the integrator is clamped at 1, so a single step of
+	// opposite error must immediately pull the output below the clamp.
+	c.Update(10, 0, 1) // error -10, trapezoid adds 0.5*(-10+10)=0... next:
+	out := c.Update(10, 0, 1)
+	if out >= 1 {
+		t.Errorf("output stuck at %g after error reversal; integrator wind-up not clamped", out)
+	}
+}
+
+func TestDerivativeRespondsToMeasurementChange(t *testing.T) {
+	cfg := Config{Kd: 1, Tau: 0, OutMin: -100, OutMax: 100}
+	c := New(cfg)
+	c.Update(0, 0, 1)
+	out := c.Update(0, 5, 1) // measurement jumped by 5 over dt=1
+	if math.Abs(out-5) > 1e-12 {
+		t.Errorf("derivative output = %g, want 5", out)
+	}
+}
+
+func TestDerivativeFiltering(t *testing.T) {
+	sharp := New(Config{Kd: 1, Tau: 0, OutMin: -100, OutMax: 100})
+	smooth := New(Config{Kd: 1, Tau: 10, OutMin: -100, OutMax: 100})
+	sharp.Update(0, 0, 1)
+	smooth.Update(0, 0, 1)
+	o1 := sharp.Update(0, 5, 1)
+	o2 := smooth.Update(0, 5, 1)
+	if math.Abs(o2) >= math.Abs(o1) {
+		t.Errorf("filtered derivative %g not smaller than raw %g", o2, o1)
+	}
+}
+
+func TestNonPositiveDtHoldsOutput(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Update(0, 100, 1)
+	before := c.Output()
+	if out := c.Update(0, -100, 0); out != before {
+		t.Errorf("dt=0 changed output from %g to %g", before, out)
+	}
+	if out := c.Update(0, -100, -1); out != before {
+		t.Errorf("dt<0 changed output from %g to %g", before, out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Update(0, 50, 1)
+	c.Reset()
+	if c.Output() != 0 {
+		t.Errorf("Output after Reset = %g, want 0", c.Output())
+	}
+}
+
+// Property: output is always within [OutMin, OutMax] regardless of input.
+func TestPropertyOutputBounded(t *testing.T) {
+	f := func(preds, obs []float64) bool {
+		c := New(Config{Kp: 2, Ki: 0.5, Kd: 1, OutMin: -7, OutMax: 7})
+		n := len(preds)
+		if len(obs) < n {
+			n = len(obs)
+		}
+		for i := 0; i < n; i++ {
+			p, o := preds[i], obs[i]
+			if math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(o) || math.IsInf(o, 0) {
+				continue
+			}
+			out := c.Update(p, o, 0.5)
+			if out < -7 || out > 7 || math.IsNaN(out) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the controller is deterministic — the same input sequence gives
+// the same outputs after a Reset.
+func TestPropertyDeterministic(t *testing.T) {
+	f := func(vals []float64) bool {
+		c := New(DefaultConfig())
+		run := func() []float64 {
+			var outs []float64
+			for i, v := range vals {
+				if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+					v = float64(i) // keep arithmetic finite: NaN != NaN would fail equality
+				}
+				outs = append(outs, c.Update(1, v, 1))
+			}
+			return outs
+		}
+		a := run()
+		c.Reset()
+		b := run()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

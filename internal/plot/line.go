@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// LineChart renders one or two time series as 2px lines over a shared time
+// axis — used for device timelines (input power, buffer occupancy, store
+// energy). Each series gets its own normalised scale printed in its label
+// (series of different magnitude must not share a second y-axis, so values
+// are indexed to their own maximum instead).
+type LineChart struct {
+	Title  string
+	XLabel string
+	// X holds the shared time coordinates (seconds), ascending.
+	X []float64
+	// Series are drawn in the fixed categorical order.
+	Series []Series
+}
+
+// Validate checks the chart is renderable.
+func (c *LineChart) Validate() error {
+	if len(c.X) < 2 {
+		return fmt.Errorf("plot: line chart needs at least 2 points, got %d", len(c.X))
+	}
+	if len(c.Series) == 0 || len(c.Series) > len(seriesColors) {
+		return fmt.Errorf("plot: line chart needs 1–%d series, got %d", len(seriesColors), len(c.Series))
+	}
+	for i := 1; i < len(c.X); i++ {
+		if c.X[i] < c.X[i-1] {
+			return fmt.Errorf("plot: X not ascending at %d", i)
+		}
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.X) {
+			return fmt.Errorf("plot: series %q has %d values for %d xs", s.Name, len(s.Values), len(c.X))
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plot: series %q contains non-finite value", s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSVG renders the chart. Each series is normalised to its own maximum
+// (the per-series max appears in the legend label), which sidesteps the
+// dual-axis trap while keeping shapes comparable.
+func (c *LineChart) WriteSVG(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	plotW := chartW - marginL - marginR
+	plotH := chartH - marginT - marginB
+	x0, x1 := c.X[0], c.X[len(c.X)-1]
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	xpos := func(t float64) float64 { return marginL + plotW*(t-x0)/(x1-x0) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="system-ui, sans-serif">`+"\n",
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="%s"/>`+"\n", chartW, chartH, surface)
+	fmt.Fprintf(&b, `<text x="%g" y="28" font-size="16" font-weight="600" fill="%s">%s</text>`+"\n",
+		marginL, textPrimary, esc(c.Title))
+
+	// Recessive horizontal grid at quarters of the normalised range.
+	for i := 0; i <= 4; i++ {
+		yy := marginT + plotH*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1"/>`+"\n",
+			marginL, round(yy), chartW-marginR, round(yy), gridStroke)
+	}
+	// X ticks: five time labels.
+	for i := 0; i <= 4; i++ {
+		t := x0 + (x1-x0)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			round(xpos(t)), round(marginT+plotH+18), textSecondary, fmtVal(t, "s"))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" fill="%s">%s</text>`+"\n",
+			marginL, marginT-10, textSecondary, esc(c.XLabel))
+	}
+
+	// Lines, each normalised to its own max.
+	for si, s := range c.Series {
+		max := 0.0
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			max = 1
+		}
+		var d strings.Builder
+		for i, v := range s.Values {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			yy := marginT + plotH*(1-v/max)
+			fmt.Fprintf(&d, "%s%g %g", cmd, round(xpos(c.X[i])), round(yy))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round">`,
+			d.String(), seriesColors[si])
+		fmt.Fprintf(&b, `<title>%s (max %s)</title></path>`+"\n", esc(s.Name), fmtVal(max, ""))
+
+		// Legend entry with the per-series scale.
+		lx := marginL + float64(si)*220
+		ly := chartH - 28.0
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="12" rx="2" fill="%s"/>`+"\n",
+			lx, ly-10, seriesColors[si])
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="12" fill="%s">%s (max %s)</text>`+"\n",
+			lx+17, ly, textPrimary, esc(s.Name), fmtVal(max, ""))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

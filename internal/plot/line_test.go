@@ -1,0 +1,87 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineChart() *LineChart {
+	return &LineChart{
+		Title:  "device timeline",
+		XLabel: "normalised per series",
+		X:      []float64{0, 10, 20, 30},
+		Series: []Series{
+			{Name: "power (mW)", Values: []float64{4, 30, 12, 0.5}},
+			{Name: "occupancy", Values: []float64{0, 3, 9, 2}},
+		},
+	}
+}
+
+func TestLineValidate(t *testing.T) {
+	if err := lineChart().Validate(); err != nil {
+		t.Fatalf("valid chart rejected: %v", err)
+	}
+	c := lineChart()
+	c.X = c.X[:1]
+	if err := c.Validate(); err == nil {
+		t.Error("accepted single point")
+	}
+	c = lineChart()
+	c.X[2] = 5 // not ascending
+	if err := c.Validate(); err == nil {
+		t.Error("accepted non-ascending X")
+	}
+	c = lineChart()
+	c.Series[0].Values = c.Series[0].Values[:2]
+	if err := c.Validate(); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	c = lineChart()
+	c.Series[0].Values[1] = math.Inf(1)
+	if err := c.Validate(); err == nil {
+		t.Error("accepted non-finite value")
+	}
+	c = lineChart()
+	c.Series = nil
+	if err := c.Validate(); err == nil {
+		t.Error("accepted no series")
+	}
+}
+
+func TestLineWriteSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lineChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"device timeline",
+		`stroke="` + seriesColors[0] + `" stroke-width="2"`,
+		`stroke="` + seriesColors[1] + `"`,
+		"power (mW) (max 30.0)",
+		"occupancy (max 9)",
+		"30.0s", // final x tick
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	// Two line paths starting with M.
+	if got := strings.Count(out, `d="M`); got != 2 {
+		t.Errorf("line paths = %d, want 2", got)
+	}
+}
+
+func TestLineZeroSeries(t *testing.T) {
+	c := &LineChart{
+		Title:  "flat",
+		X:      []float64{0, 1},
+		Series: []Series{{Name: "zeros", Values: []float64{0, 0}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package plot renders the experiment harness's results as standalone SVG
+// grouped-bar charts, so `cmd/experiments -svg` produces figures you can
+// open next to the paper's.
+//
+// Visual rules follow a validated chart style: categorical series colors
+// assigned in a fixed, CVD-safe order (never cycled or re-ranked); thin
+// bars with rounded data-ends anchored to the baseline and a 2 px surface
+// gap between adjacent bars; recessive grid and axes; text in ink colors,
+// never the series color; a legend whenever there are two or more series
+// plus direct value labels on every bar (the relief rule for the
+// lower-contrast slots); native SVG <title> tooltips per mark.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// The categorical palette, light mode, in its fixed CVD-validated order
+// (worst adjacent ΔE 24.2; slots 2/3/7 rely on the direct labels below for
+// contrast relief).
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+// Ink and surface tokens.
+const (
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridStroke    = "#e4e3df"
+)
+
+// Series is one named sequence of values, one per category.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart is a grouped bar chart: categories on the x axis, one bar per
+// series within each category.
+type BarChart struct {
+	Title      string
+	YLabel     string
+	Categories []string
+	Series     []Series
+	// ValueSuffix is appended to direct labels (e.g. "%").
+	ValueSuffix string
+}
+
+// Validate checks the chart is renderable.
+func (c *BarChart) Validate() error {
+	if len(c.Categories) == 0 {
+		return fmt.Errorf("plot: no categories")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	if len(c.Series) > len(seriesColors) {
+		return fmt.Errorf("plot: %d series exceeds the %d fixed categorical slots; fold extras into 'other'",
+			len(c.Series), len(seriesColors))
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("plot: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(c.Categories))
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("plot: series %q contains non-renderable value %g", s.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Geometry constants (pixels).
+const (
+	chartW      = 760.0
+	chartH      = 420.0
+	marginL     = 64.0
+	marginR     = 24.0
+	marginT     = 56.0
+	marginB     = 88.0 // room for category labels + legend row
+	barGap      = 2.0  // surface gap between adjacent bars
+	groupGapFr  = 0.35 // fraction of a group's width left as spacing
+	cornerR     = 3.0  // rounded data-end radius
+	maxBarWidth = 46.0
+)
+
+// WriteSVG renders the chart.
+func (c *BarChart) WriteSVG(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	maxV := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	top := niceCeil(maxV)
+
+	plotW := chartW - marginL - marginR
+	plotH := chartH - marginT - marginB
+	y := func(v float64) float64 { return marginT + plotH*(1-v/top) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="system-ui, sans-serif">`+"\n",
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="%s"/>`+"\n", chartW, chartH, surface)
+	fmt.Fprintf(&b, `<text x="%g" y="28" font-size="16" font-weight="600" fill="%s">%s</text>`+"\n",
+		marginL, textPrimary, esc(c.Title))
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" fill="%s">%s</text>`+"\n",
+			marginL, marginT-10, textSecondary, esc(c.YLabel))
+	}
+
+	// Recessive grid + y ticks (4 divisions).
+	for i := 0; i <= 4; i++ {
+		v := top * float64(i) / 4
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1"/>`+"\n",
+			marginL, yy, chartW-marginR, yy, gridStroke)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" fill="%s" text-anchor="end">%s</text>`+"\n",
+			marginL-8, yy+4, textSecondary, fmtVal(v, c.ValueSuffix))
+	}
+
+	// Bars.
+	nCat, nSer := len(c.Categories), len(c.Series)
+	groupW := plotW / float64(nCat)
+	innerW := groupW * (1 - groupGapFr)
+	barW := (innerW - barGap*float64(nSer-1)) / float64(nSer)
+	if barW > maxBarWidth {
+		barW = maxBarWidth
+	}
+	usedW := barW*float64(nSer) + barGap*float64(nSer-1)
+	baseline := y(0)
+	for ci, cat := range c.Categories {
+		gx := marginL + groupW*float64(ci) + (groupW-usedW)/2
+		for si, s := range c.Series {
+			v := s.Values[ci]
+			x := gx + float64(si)*(barW+barGap)
+			yTop := y(v)
+			h := baseline - yTop
+			fmt.Fprintf(&b, `<path d="%s" fill="%s">`, barPath(x, yTop, barW, h), seriesColors[si])
+			fmt.Fprintf(&b, `<title>%s — %s: %s</title></path>`+"\n",
+				esc(cat), esc(s.Name), fmtVal(v, c.ValueSuffix))
+			// Direct value label (ink, not series color): the relief rule.
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" fill="%s" text-anchor="middle">%s</text>`+"\n",
+				round(x+barW/2), round(yTop-4), textPrimary, fmtVal(v, c.ValueSuffix))
+		}
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="12" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			round(marginL+groupW*(float64(ci)+0.5)), round(baseline+20), textPrimary, esc(cat))
+	}
+
+	// Legend row (only with ≥ 2 series; one series is named by the title).
+	if nSer >= 2 {
+		lx := marginL
+		ly := chartH - 28.0
+		for si, s := range c.Series {
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="12" rx="2" fill="%s"/>`+"\n",
+				lx, ly-10, seriesColors[si])
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="12" fill="%s">%s</text>`+"\n",
+				lx+17, ly, textPrimary, esc(s.Name))
+			lx += 17 + 8.5*float64(len(s.Name)) + 24
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// barPath draws a bar anchored to the baseline with only the data-end
+// (top) corners rounded.
+func barPath(x, yTop, w, h float64) string {
+	r := cornerR
+	if h < r {
+		r = h
+	}
+	if w < 2*r {
+		r = w / 2
+	}
+	return fmt.Sprintf("M%g %g v%g q0 %g %g %g h%g q%g 0 %g %g v%g z",
+		round(x), round(yTop+h), round(-(h - r)), round(-r), round(r), round(-r),
+		round(w-2*r), round(r), round(r), round(r), round(h-r))
+}
+
+func round(v float64) float64 { return math.Round(v*100) / 100 }
+
+// niceCeil rounds up to a pleasant axis maximum (1/2/5 × 10^k).
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func fmtVal(v float64, suffix string) string {
+	s := ""
+	switch {
+	case v >= 100:
+		s = fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		s = fmt.Sprintf("%.1f", v)
+	default:
+		s = fmt.Sprintf("%.2g", v)
+	}
+	return s + suffix
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,152 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func chart() *BarChart {
+	return &BarChart{
+		Title:       "Fig 9 — interesting inputs discarded",
+		YLabel:      "% of interesting arrivals",
+		Categories:  []string{"more-crowded", "crowded", "less-crowded"},
+		ValueSuffix: "%",
+		Series: []Series{
+			{Name: "noadapt", Values: []float64{50.7, 50.0, 42.7}},
+			{Name: "alwaysdegrade", Values: []float64{22.1, 22.7, 22.1}},
+			{Name: "quetzal", Values: []float64{16.9, 15.4, 16.1}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := chart().Validate(); err != nil {
+		t.Fatalf("valid chart rejected: %v", err)
+	}
+	c := chart()
+	c.Categories = nil
+	if err := c.Validate(); err == nil {
+		t.Error("accepted no categories")
+	}
+	c = chart()
+	c.Series = nil
+	if err := c.Validate(); err == nil {
+		t.Error("accepted no series")
+	}
+	c = chart()
+	c.Series[0].Values = c.Series[0].Values[:2]
+	if err := c.Validate(); err == nil {
+		t.Error("accepted mismatched value count")
+	}
+	c = chart()
+	c.Series[0].Values[0] = math.NaN()
+	if err := c.Validate(); err == nil {
+		t.Error("accepted NaN")
+	}
+	c = chart()
+	c.Series[0].Values[0] = -1
+	if err := c.Validate(); err == nil {
+		t.Error("accepted negative value")
+	}
+	c = chart()
+	for i := 0; i < 9; i++ {
+		c.Series = append(c.Series, Series{Name: "x", Values: []float64{1, 2, 3}})
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("accepted more series than fixed categorical slots")
+	}
+}
+
+func TestWriteSVGStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	fragments := []string{
+		"<svg", "</svg>",
+		"Fig 9 — interesting inputs discarded",
+		"% of interesting arrivals",
+		"more-crowded", "quetzal",
+		seriesColors[0], seriesColors[1], seriesColors[2],
+		"<title>crowded — quetzal: 15.4%</title>",
+		`fill="` + surface + `"`,
+	}
+	for _, f := range fragments {
+		if !strings.Contains(out, f) {
+			t.Errorf("SVG missing %q", f)
+		}
+	}
+	// One bar path + one direct label per (category, series).
+	if got := strings.Count(out, "<path"); got != 9 {
+		t.Errorf("bar paths = %d, want 9", got)
+	}
+	// Legend present for 3 series.
+	if got := strings.Count(out, `<rect`); got < 4 { // surface + 3 legend chips
+		t.Errorf("rects = %d, want surface + legend chips", got)
+	}
+	// Direct labels use ink, not series color.
+	if strings.Contains(out, `<text`) && strings.Contains(out, `fill="`+seriesColors[0]+`" text-anchor="middle"`) {
+		t.Error("direct labels use series color instead of ink")
+	}
+}
+
+func TestSingleSeriesHasNoLegend(t *testing.T) {
+	c := &BarChart{
+		Title:      "solo",
+		Categories: []string{"a", "b"},
+		Series:     []Series{{Name: "only", Values: []float64{1, 2}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one rect: the surface (no legend chips).
+	if got := strings.Count(buf.String(), "<rect"); got != 1 {
+		t.Errorf("rects = %d, want 1 (surface only)", got)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &BarChart{
+		Title:      `a <b> & "c"`,
+		Categories: []string{"x<y"},
+		Series:     []Series{{Name: "s&t", Values: []float64{3}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<b>") || strings.Contains(out, "s&t<") {
+		t.Error("unescaped markup in SVG text")
+	}
+	if !strings.Contains(out, "a &lt;b&gt; &amp; &quot;c&quot;") {
+		t.Errorf("title not escaped: %s", out[:200])
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 1}, {0.7, 1}, {1, 1}, {1.3, 2}, {4.2, 5}, {7, 10}, {34, 50}, {99, 100}, {101, 200},
+	}
+	for _, c := range cases {
+		if got := niceCeil(c.in); got != c.want {
+			t.Errorf("niceCeil(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestZeroValuesRenderable(t *testing.T) {
+	c := &BarChart{
+		Title:      "zeros",
+		Categories: []string{"a"},
+		Series:     []Series{{Name: "s", Values: []float64{0}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package queueing collects the queueing-theory results Quetzal's design
+// rests on (paper §3, citing Harchol-Balter's "Performance Modeling and
+// Design of Computer Systems"): Little's Law, utilization, and the classic
+// single-server queue formulas used to reason about — and in tests, to
+// validate — the input buffer's behaviour.
+//
+// Conventions: λ is the arrival rate (inputs/second), s the mean service
+// time per input (seconds), ρ = λ·s the offered utilization, K the system
+// capacity in inputs (queue slots including the one in service).
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Utilization returns ρ = λ·s, the offered load of a single-server queue.
+// ρ ≥ 1 means the queue diverges without admission control: the foundation
+// of the IBO engine's stability check.
+func Utilization(lambda, meanService float64) float64 {
+	if lambda < 0 || meanService < 0 {
+		return 0
+	}
+	return lambda * meanService
+}
+
+// Little returns L = λ·W, the expected number in system given throughput λ
+// and mean sojourn W (Little's Law, Equation (2) of the paper).
+func Little(lambda, sojourn float64) float64 {
+	if lambda < 0 || sojourn < 0 {
+		return 0
+	}
+	return lambda * sojourn
+}
+
+// MM1Queue returns the expected number in system for an M/M/1 queue,
+// L = ρ/(1−ρ). It returns +Inf for ρ ≥ 1.
+func MM1Queue(rho float64) float64 {
+	if rho < 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+// MD1QueueLength returns the expected number *waiting* for an M/D/1 queue
+// (Poisson arrivals, deterministic service) via Pollaczek–Khinchine with
+// zero service variability: Lq = ρ²/(2(1−ρ)). Deterministic service is the
+// right model for profiled tasks with consistent t_exe (§5.2). Returns
+// +Inf for ρ ≥ 1.
+func MD1QueueLength(rho float64) float64 {
+	if rho < 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho * rho / (2 * (1 - rho))
+}
+
+// MD1System returns the expected number in system for M/D/1 (waiting plus
+// in service): Lq + ρ.
+func MD1System(rho float64) float64 {
+	lq := MD1QueueLength(rho)
+	if math.IsInf(lq, 1) {
+		return lq
+	}
+	return lq + rho
+}
+
+// MM1K describes a finite M/M/1/K queue (capacity K including the server).
+type MM1K struct {
+	Rho float64
+	K   int
+}
+
+// NewMM1K validates and constructs a finite queue model.
+func NewMM1K(rho float64, k int) (MM1K, error) {
+	if rho < 0 {
+		return MM1K{}, fmt.Errorf("queueing: utilization must be non-negative, got %g", rho)
+	}
+	if k <= 0 {
+		return MM1K{}, fmt.Errorf("queueing: capacity must be positive, got %d", k)
+	}
+	return MM1K{Rho: rho, K: k}, nil
+}
+
+// Pn returns the steady-state probability of n inputs in the system.
+func (q MM1K) Pn(n int) float64 {
+	if n < 0 || n > q.K {
+		return 0
+	}
+	if almostOne(q.Rho) {
+		// ρ = 1: the distribution is uniform over 0..K.
+		return 1 / float64(q.K+1)
+	}
+	return (1 - q.Rho) * math.Pow(q.Rho, float64(n)) /
+		(1 - math.Pow(q.Rho, float64(q.K+1)))
+}
+
+// Blocking returns the probability an arrival finds the system full and is
+// lost — the analytic counterpart of an input buffer overflow.
+func (q MM1K) Blocking() float64 { return q.Pn(q.K) }
+
+// Mean returns the expected number in system.
+func (q MM1K) Mean() float64 {
+	sum := 0.0
+	for n := 0; n <= q.K; n++ {
+		sum += float64(n) * q.Pn(n)
+	}
+	return sum
+}
+
+// Throughput returns the accepted-arrival rate λ(1−P_K) for arrival rate
+// lambda.
+func (q MM1K) Throughput(lambda float64) float64 {
+	return lambda * (1 - q.Blocking())
+}
+
+func almostOne(rho float64) bool { return math.Abs(rho-1) < 1e-12 }
+
+// StabilityBound returns the largest sustainable per-input service time for
+// the given arrival rate (the inverse of the utilization check): s_max such
+// that λ·s_max = 1. Infinite for λ = 0.
+func StabilityBound(lambda float64) float64 {
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / lambda
+}

@@ -1,0 +1,182 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilizationAndLittle(t *testing.T) {
+	if got := Utilization(0.5, 2); got != 1.0 {
+		t.Errorf("Utilization = %g, want 1", got)
+	}
+	if got := Utilization(-1, 2); got != 0 {
+		t.Errorf("negative λ Utilization = %g, want 0", got)
+	}
+	if got := Little(2, 3); got != 6 {
+		t.Errorf("Little = %g, want 6", got)
+	}
+	if got := Little(2, -3); got != 0 {
+		t.Errorf("negative W Little = %g, want 0", got)
+	}
+}
+
+func TestMM1Queue(t *testing.T) {
+	if got := MM1Queue(0.5); got != 1 {
+		t.Errorf("MM1Queue(0.5) = %g, want 1", got)
+	}
+	if got := MM1Queue(0.9); math.Abs(got-9) > 1e-12 {
+		t.Errorf("MM1Queue(0.9) = %g, want 9", got)
+	}
+	if !math.IsInf(MM1Queue(1), 1) || !math.IsInf(MM1Queue(2), 1) {
+		t.Error("MM1Queue must diverge at ρ ≥ 1")
+	}
+	if got := MM1Queue(-0.1); got != 0 {
+		t.Errorf("MM1Queue(<0) = %g, want 0", got)
+	}
+}
+
+func TestMD1(t *testing.T) {
+	// Lq = ρ²/(2(1−ρ)): at ρ=0.5, Lq = 0.25.
+	if got := MD1QueueLength(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("MD1QueueLength(0.5) = %g, want 0.25", got)
+	}
+	if got := MD1System(0.5); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("MD1System(0.5) = %g, want 0.75", got)
+	}
+	if !math.IsInf(MD1System(1), 1) {
+		t.Error("MD1System must diverge at ρ = 1")
+	}
+	// Deterministic service always beats exponential service on queue
+	// length (half the P-K waiting term).
+	for _, rho := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if MD1System(rho) >= MM1Queue(rho) {
+			t.Errorf("ρ=%g: M/D/1 %g not below M/M/1 %g", rho, MD1System(rho), MM1Queue(rho))
+		}
+	}
+}
+
+func TestNewMM1KValidation(t *testing.T) {
+	if _, err := NewMM1K(-0.1, 5); err == nil {
+		t.Error("accepted negative ρ")
+	}
+	if _, err := NewMM1K(0.5, 0); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := NewMM1K(0.5, 10); err != nil {
+		t.Errorf("rejected valid model: %v", err)
+	}
+}
+
+func TestMM1KDistributionSumsToOne(t *testing.T) {
+	for _, rho := range []float64{0, 0.3, 0.9, 1.0, 1.5} {
+		for _, k := range []int{1, 5, 10, 50} {
+			q, err := NewMM1K(rho, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for n := 0; n <= k; n++ {
+				sum += q.Pn(n)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("ρ=%g K=%d: ΣPn = %g, want 1", rho, k, sum)
+			}
+		}
+	}
+}
+
+func TestMM1KRhoOneIsUniform(t *testing.T) {
+	q, _ := NewMM1K(1, 4)
+	for n := 0; n <= 4; n++ {
+		if got := q.Pn(n); math.Abs(got-0.2) > 1e-12 {
+			t.Errorf("Pn(%d) = %g, want 0.2 (uniform at ρ=1)", n, got)
+		}
+	}
+	if got := q.Blocking(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Blocking = %g, want 0.2", got)
+	}
+}
+
+func TestMM1KBlockingMonotoneInRho(t *testing.T) {
+	prev := -1.0
+	for rho := 0.1; rho < 3; rho += 0.1 {
+		q, _ := NewMM1K(rho, 10)
+		b := q.Blocking()
+		if b <= prev {
+			t.Errorf("blocking not increasing at ρ=%g: %g ≤ %g", rho, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestMM1KHeavyTrafficApproachesCertainBlocking(t *testing.T) {
+	q, _ := NewMM1K(50, 10)
+	if got := q.Blocking(); got < 0.97 {
+		t.Errorf("Blocking at ρ=50 = %g, want ≈ 1", got)
+	}
+	if got := q.Mean(); got < 9.9 {
+		t.Errorf("Mean at ρ=50 = %g, want ≈ K", got)
+	}
+}
+
+func TestMM1KOutOfRangePn(t *testing.T) {
+	q, _ := NewMM1K(0.5, 3)
+	if q.Pn(-1) != 0 || q.Pn(4) != 0 {
+		t.Error("out-of-range Pn must be 0")
+	}
+}
+
+func TestMM1KThroughputConservation(t *testing.T) {
+	q, _ := NewMM1K(0.8, 10)
+	lambda := 2.0
+	if got := q.Throughput(lambda); got >= lambda || got <= 0 {
+		t.Errorf("Throughput = %g, want in (0, %g)", got, lambda)
+	}
+}
+
+func TestStabilityBound(t *testing.T) {
+	if got := StabilityBound(0.5); got != 2 {
+		t.Errorf("StabilityBound(0.5) = %g, want 2", got)
+	}
+	if !math.IsInf(StabilityBound(0), 1) {
+		t.Error("StabilityBound(0) must be +Inf")
+	}
+}
+
+// Property: as K → ∞ with ρ < 1, M/M/1/K mean approaches the M/M/1 mean
+// and blocking approaches 0.
+func TestPropertyMM1KConvergesToMM1(t *testing.T) {
+	f := func(rhoRaw uint8) bool {
+		rho := float64(rhoRaw%80+1) / 100 // (0, 0.8]
+		q, err := NewMM1K(rho, 400)
+		if err != nil {
+			return false
+		}
+		return math.Abs(q.Mean()-MM1Queue(rho)) < 1e-3 && q.Blocking() < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Little's Law is consistent with M/M/1/K internally — the mean
+// number in system equals accepted throughput × mean sojourn computed from
+// the model (L = λ_eff · W with W = L/λ_eff is a tautology, so instead we
+// check L ≤ K and blocking ∈ [0,1] across the parameter space).
+func TestPropertyMM1KBounds(t *testing.T) {
+	f := func(rhoRaw uint16, kRaw uint8) bool {
+		rho := float64(rhoRaw%500) / 100
+		k := int(kRaw)%30 + 1
+		q, err := NewMM1K(rho, k)
+		if err != nil {
+			return false
+		}
+		b := q.Blocking()
+		m := q.Mean()
+		return b >= 0 && b <= 1 && m >= 0 && m <= float64(k)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quetzal/internal/baseline"
+	"quetzal/internal/core"
+	"quetzal/internal/device"
+	"quetzal/internal/energy"
+	"quetzal/internal/trace"
+)
+
+// TestPropertyWholeSimulator drives the complete stack — random traces,
+// random store sizes, random controllers, random checkpoint policies —
+// and asserts the global invariants on every run:
+//
+//   - the run completes without an accounting error (metrics.Check);
+//   - energy is conserved (consumed ≤ harvested + initial store);
+//   - the buffer never exceeds capacity (checked inside buffer);
+//   - every reported packet corresponds to a positive classification when
+//     the app has a classifier;
+//   - re-running the same configuration reproduces the same results.
+func TestPropertyWholeSimulator(t *testing.T) {
+	f := func(seed int64, sysRaw, envRaw, capRaw, ckptRaw uint8, powRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prof := device.Apollo4()
+		if sysRaw%4 == 3 {
+			prof = device.MSP430()
+		}
+		app := prof.PersonDetectionApp()
+
+		var ctl core.Controller
+		var err error
+		switch sysRaw % 3 {
+		case 0:
+			ctl, err = core.New(core.Config{App: app, CapturePeriod: 1})
+		case 1:
+			ctl, err = baseline.NoAdapt(app)
+		default:
+			ctl, err = baseline.Threshold(app, 0.5)
+		}
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+
+		events := trace.GenerateEvents(trace.DefaultEventConfig(
+			int(envRaw)%25+5, float64(envRaw%3)*25+10, seed))
+		power := trace.SquareWave{
+			High:   float64(powRaw%100)/1000 + 0.005, // 5–105 mW
+			Low:    0.001,
+			Period: float64(powRaw%50) + 20,
+			Duty:   0.5,
+		}
+		store := energy.DefaultConfig()
+		store.Capacitance = float64(capRaw%50)/1000 + 0.004 // 4–54 mF
+
+		cfg := Config{
+			Profile: prof, App: app, Controller: ctl,
+			Power: power, Events: events,
+			Store:      store,
+			Checkpoint: CheckpointPolicy(int(ckptRaw) % 3),
+			Seed:       seed + 1,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.ConsumedJoules > res.HarvestedJoules+s.Store().UsableCapacity()+1e-6 {
+			t.Logf("seed %d: energy conservation violated", seed)
+			return false
+		}
+		if res.TruePositives+res.FalseNegatives > 0 &&
+			res.TotalPackets() > res.TruePositives+res.FalsePositives {
+			t.Logf("seed %d: packets without classifications", seed)
+			return false
+		}
+		_ = rng
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySimulatorDeterminism re-runs random configurations and
+// requires bit-identical results.
+func TestPropertySimulatorDeterminism(t *testing.T) {
+	f := func(seed int64, envRaw uint8) bool {
+		run := func() (string, bool) {
+			prof := device.Apollo4()
+			app := prof.PersonDetectionApp()
+			ctl, err := core.New(core.Config{App: app, CapturePeriod: 1})
+			if err != nil {
+				return "", false
+			}
+			events := trace.GenerateEvents(trace.DefaultEventConfig(int(envRaw)%15+5, 30, seed))
+			power := trace.GenerateSolar(trace.DefaultSolarConfig(events.Duration()+60, seed+2))
+			s, err := New(Config{
+				Profile: prof, App: app, Controller: ctl,
+				Power: power, Events: events, Seed: seed + 3,
+			})
+			if err != nil {
+				return "", false
+			}
+			res, err := s.Run()
+			if err != nil {
+				return "", false
+			}
+			return res.String(), true
+		}
+		a, okA := run()
+		b, okB := run()
+		return okA && okB && a == b
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"quetzal/internal/device"
+	"quetzal/internal/model"
+	"quetzal/internal/queueing"
+	"quetzal/internal/trace"
+)
+
+// singleStageApp is a one-task pipeline with deterministic service time s:
+// the closest executable analogue of a single-server queue.
+func singleStageApp(service float64) *model.App {
+	work := &model.Task{Name: "work", Kind: model.Compute,
+		Options: []model.Option{{Name: "only", Texe: service, Pexe: 0.005}}}
+	return &model.App{
+		Name:        "single-stage",
+		Jobs:        []*model.Job{{ID: 0, Name: "serve", Tasks: []*model.Task{work}, SpawnJobID: model.NoSpawn}},
+		EntryJobID:  0,
+		CaptureTexe: 0.004, CapturePexe: 0.002,
+	}
+}
+
+// bernoulliEvents builds an event trace where each event covers exactly one
+// capture instant, with geometric gaps — a discrete-time approximation of
+// Poisson arrivals at rate p per second.
+func bernoulliEvents(n int, p float64, seed int64) *trace.EventTrace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.EventTrace{}
+	t := 0.5 // offset so each 1 s event straddles exactly one integer capture
+	for i := 0; i < n; i++ {
+		// Geometric gap with success probability p (in whole seconds).
+		gap := 1
+		for rng.Float64() >= p {
+			gap++
+		}
+		t += float64(gap)
+		tr.Events = append(tr.Events, trace.Event{Start: t - 0.999, Duration: 0.999, Interesting: true})
+	}
+	return tr
+}
+
+// The simulator's queue must track the analytic single-server models: with
+// Bernoulli(p) arrivals and deterministic service s, the time-averaged
+// occupancy should land near the M/D/1 prediction (between the M/D/1 value
+// and the heavier-tailed M/M/1 value, with slack for the capture-pipeline
+// interference and discrete arrivals).
+func TestSimulatorMatchesSingleServerTheory(t *testing.T) {
+	const service = 0.4
+	app := singleStageApp(service)
+	ctl := noadaptController(t, app)
+	s, err := New(Config{
+		Profile:        device.Apollo4(),
+		App:            app,
+		Controller:     ctl,
+		Power:          trace.Constant{P: 0.2}, // ample: service is compute-bound
+		Events:         bernoulliEvents(1500, 0.5, 11),
+		BufferCapacity: 500, // effectively infinite: no blocking
+		DrainTime:      60,
+		Seed:           12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IBODropsInteresting+res.IBODropsOther != 0 {
+		t.Fatalf("unexpected drops with a 500-slot buffer")
+	}
+
+	lambda := float64(res.Arrivals) / res.SimSeconds
+	// Effective service includes the capture pipeline's preemption (~4 ms
+	// per capture, i.e. per second).
+	effService := service + 0.004
+	rho := queueing.Utilization(lambda, effService)
+	if rho <= 0.1 || rho >= 0.5 {
+		t.Fatalf("calibration off: ρ = %.3f, want ≈ 0.2", rho)
+	}
+
+	measured := res.AvgOccupancy()
+	lo := queueing.MD1System(rho) * 0.5
+	hi := queueing.MM1Queue(rho) * 2.0
+	if measured < lo || measured > hi {
+		t.Errorf("avg occupancy %.4f outside analytic band [%.4f (M/D/1·0.5), %.4f (M/M/1·2)] at ρ=%.3f",
+			measured, lo, hi, rho)
+	}
+	t.Logf("λ=%.3f ρ=%.3f measured L=%.4f, M/D/1=%.4f, M/M/1=%.4f",
+		lambda, rho, measured, queueing.MD1System(rho), queueing.MM1Queue(rho))
+}
+
+// With a tiny buffer under overload, measured loss must approach the
+// analytic heavy-traffic blocking of a finite queue.
+func TestSimulatorBlockingMatchesFiniteQueueTheory(t *testing.T) {
+	const service = 2.0 // ρ ≈ 1 at every-second arrivals: sustained overload
+	app := singleStageApp(service)
+	ctl := noadaptController(t, app)
+	s, err := New(Config{
+		Profile:        device.Apollo4(),
+		App:            app,
+		Controller:     ctl,
+		Power:          trace.Constant{P: 0.2},
+		Events:         steadyEvents(4, 300, 10, true), // near-continuous arrivals
+		BufferCapacity: 5,
+		Seed:           13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := float64(res.Arrivals) / res.SimSeconds
+	rho := queueing.Utilization(lambda, service+0.004)
+	q, err := queueing.NewMM1K(rho, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := float64(res.IBODropsInteresting + res.IBODropsOther)
+	measured := dropped / float64(res.Arrivals)
+	analytic := q.Blocking()
+	// Deterministic service loses less than exponential at equal ρ, but in
+	// heavy traffic both approach 1−1/ρ; allow a generous band.
+	if measured < analytic*0.5 || measured > analytic*1.5 {
+		t.Errorf("measured loss %.3f vs M/M/1/K blocking %.3f at ρ=%.2f: outside ±50%%",
+			measured, analytic, rho)
+	}
+	t.Logf("ρ=%.2f measured loss %.3f, analytic blocking %.3f", rho, measured, analytic)
+}

@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"testing"
+
+	"quetzal/internal/baseline"
+	"quetzal/internal/core"
+	"quetzal/internal/device"
+	"quetzal/internal/energy"
+	"quetzal/internal/metrics"
+	"quetzal/internal/model"
+	"quetzal/internal/trace"
+)
+
+// steadyEvents builds a trace of n back-to-back interesting events with
+// gaps, deterministic and easy to reason about.
+func steadyEvents(n int, dur, gap float64, interesting bool) *trace.EventTrace {
+	tr := &trace.EventTrace{}
+	t := gap
+	for i := 0; i < n; i++ {
+		tr.Events = append(tr.Events, trace.Event{Start: t, Duration: dur, Interesting: interesting})
+		t += dur + gap
+	}
+	return tr
+}
+
+func quetzalController(t *testing.T, app *model.App) core.Controller {
+	t.Helper()
+	r, err := core.New(core.Config{App: app, CapturePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func noadaptController(t *testing.T, app *model.App) core.Controller {
+	t.Helper()
+	c, err := baseline.NoAdapt(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	prof := device.Apollo4()
+	app := prof.PersonDetectionApp()
+	ctl := noadaptController(t, app)
+	events := steadyEvents(1, 5, 5, true)
+	power := trace.Constant{P: 0.02}
+
+	cases := []Config{
+		{},                              // no controller
+		{Controller: ctl},               // no power
+		{Controller: ctl, Power: power}, // no events
+		{Controller: ctl, Power: power, Events: events, Profile: prof, CapturePeriod: -1},
+		{Controller: ctl, Power: power, Events: events, Profile: prof, StepDt: -1},
+		{Controller: ctl, Power: power, Events: events, Profile: prof, BufferCapacity: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+	if _, err := New(Config{Controller: ctl, Power: power, Events: events, Profile: prof, App: app}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// With generous constant power and sparse events, NoAdapt should process
+// everything: no IBO drops, interesting inputs reported at high quality.
+func TestEasyConditionsNoLosses(t *testing.T) {
+	prof := device.Apollo4()
+	app := prof.PersonDetectionApp()
+	cfg := Config{
+		Profile:    prof,
+		App:        app,
+		Controller: noadaptController(t, app),
+		Power:      trace.Constant{P: 0.2}, // 200 mW: everything compute-bound
+		Events:     steadyEvents(5, 3, 30, true),
+		Seed:       1,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InterestingArrivals == 0 {
+		t.Fatal("no interesting arrivals; event wiring broken")
+	}
+	if got := res.IBOLossesInteresting(); got != 0 {
+		t.Errorf("IBO losses = %d under easy conditions, want 0", got)
+	}
+	if res.CaptureMisses != 0 {
+		t.Errorf("capture misses = %d at 200 mW, want 0", res.CaptureMisses)
+	}
+	// MobileNetV2 FN = 6 %: nearly all interesting inputs reported, all at
+	// high quality (NoAdapt never degrades).
+	if res.LowQInteresting != 0 {
+		t.Errorf("NoAdapt sent %d low-quality packets", res.LowQInteresting)
+	}
+	if res.ReportedInteresting() < res.InterestingArrivals*3/4 {
+		t.Errorf("reported %d of %d interesting", res.ReportedInteresting(), res.InterestingArrivals)
+	}
+	if res.Brownouts != 0 {
+		t.Errorf("brownouts = %d at 200 mW, want 0", res.Brownouts)
+	}
+}
+
+// Starving the device of power must produce brownouts, capture misses, and
+// buffer overflows for a non-adaptive controller under sustained activity.
+func TestStarvationCausesIBOs(t *testing.T) {
+	prof := device.Apollo4()
+	app := prof.PersonDetectionApp()
+	cfg := Config{
+		Profile:    prof,
+		App:        app,
+		Controller: noadaptController(t, app),
+		Power:      trace.Constant{P: 0.002}, // 2 mW
+		Events:     steadyEvents(3, 120, 20, true),
+		Seed:       2,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Brownouts == 0 {
+		t.Error("no brownouts at 2 mW with MobileNetV2 + radio workload")
+	}
+	if res.IBOLossesInteresting() == 0 {
+		t.Error("no IBO losses for NoAdapt under sustained events at 2 mW")
+	}
+	if res.DiscardedFraction() < 0.2 {
+		t.Errorf("discarded fraction = %g, want substantial", res.DiscardedFraction())
+	}
+}
+
+// Quetzal must discard fewer interesting inputs than NoAdapt under pressure
+// — the paper's headline result, on a miniature workload.
+func TestQuetzalBeatsNoAdapt(t *testing.T) {
+	prof := device.Apollo4()
+	events := steadyEvents(6, 60, 30, true)
+	power := trace.SquareWave{High: 0.080, Low: 0.003, Period: 120, Duty: 0.5}
+
+	run := func(ctl core.Controller) metrics.Results {
+		app := prof.PersonDetectionApp()
+		s, err := New(Config{
+			Profile: prof, App: app, Controller: ctl,
+			Power: power, Events: events, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	appQ := prof.PersonDetectionApp()
+	qz := run(quetzalController(t, appQ))
+	na := run(noadaptController(t, prof.PersonDetectionApp()))
+
+	if qz.InterestingDiscarded() >= na.InterestingDiscarded() {
+		t.Errorf("quetzal discarded %d (IBO %d, FN %d), noadapt %d (IBO %d, FN %d) — want quetzal lower",
+			qz.InterestingDiscarded(), qz.IBOLossesInteresting(), qz.FalseNegatives,
+			na.InterestingDiscarded(), na.IBOLossesInteresting(), na.FalseNegatives)
+	}
+	if qz.Degradations == 0 {
+		t.Error("quetzal never degraded under pressure; IBO engine inert?")
+	}
+	if qz.IBOPredictions == 0 {
+		t.Error("quetzal predicted no IBOs under pressure")
+	}
+}
+
+// An infinite buffer (the Ideal baseline) must see zero IBO losses; only
+// classifier false negatives remain.
+func TestIdealInfiniteBuffer(t *testing.T) {
+	prof := device.Apollo4()
+	app := prof.PersonDetectionApp()
+	s, err := New(Config{
+		Profile: prof, App: app,
+		Controller:     noadaptController(t, app),
+		Power:          trace.Constant{P: 0.02},
+		Events:         steadyEvents(3, 60, 20, true),
+		BufferCapacity: 1 << 20,
+		DrainTime:      600,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.IBOLossesInteresting() + res.IBODropsOther + res.IBOReinsertOther; got != 0 {
+		t.Errorf("IBO losses = %d with an infinite buffer", got)
+	}
+	if res.FalseNegatives == 0 {
+		t.Error("no false negatives at all; classifier model inert?")
+	}
+}
+
+// Capture misses: with the device starved completely, every frame during
+// the off period is missed.
+func TestCaptureMissesWhileOff(t *testing.T) {
+	prof := device.Apollo4()
+	app := prof.PersonDetectionApp()
+	store := energy.DefaultConfig()
+	s, err := New(Config{
+		Profile: prof, App: app,
+		Controller: noadaptController(t, app),
+		Power:      trace.Constant{P: 0}, // never harvests
+		Events:     steadyEvents(1, 30, 5, true),
+		Store:      store,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the store up front so the device is off for the whole run.
+	s.Store().SetFraction(0)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CaptureMisses != res.Captures {
+		t.Errorf("capture misses = %d of %d, want all", res.CaptureMisses, res.Captures)
+	}
+	if res.MissedInteresting == 0 {
+		t.Error("no interesting capture misses recorded")
+	}
+	if res.Arrivals != 0 {
+		t.Errorf("arrivals = %d with a dead device", res.Arrivals)
+	}
+}
+
+// Lower capture rates must capture fewer interesting frames (Fig 2b).
+func TestCaptureRateSweepShape(t *testing.T) {
+	prof := device.Apollo4()
+	events := steadyEvents(10, 8, 15, true)
+	arrivalsAt := func(period float64) int {
+		app := prof.PersonDetectionApp()
+		s, err := New(Config{
+			Profile: prof, App: app,
+			Controller:    noadaptController(t, app),
+			Power:         trace.Constant{P: 0.05},
+			Events:        events,
+			CapturePeriod: period,
+			Seed:          5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.InterestingArrivals
+	}
+	fast := arrivalsAt(1)
+	slow := arrivalsAt(5)
+	if slow >= fast {
+		t.Errorf("5 s capture period saw %d interesting arrivals, 1 s saw %d — want fewer at slower rate",
+			slow, fast)
+	}
+	if fast == 0 {
+		t.Fatal("no interesting arrivals at 1 FPS")
+	}
+}
+
+// Intermittent execution: a task bigger than the usable store must complete
+// across multiple charge cycles via JIT checkpointing.
+func TestIntermittentTaskCompletion(t *testing.T) {
+	prof := device.Apollo4()
+	// Shrink the store so one MobileNetV2+report pipeline spans several
+	// charges: usable ≈ ½·3.3mF·(3²−1.8²) ≈ 9.5 mJ < 24 mJ ML energy.
+	store := energy.DefaultConfig()
+	store.Capacitance = 0.0033
+	app := prof.PersonDetectionApp()
+	s, err := New(Config{
+		Profile: prof, App: app,
+		Controller: noadaptController(t, app),
+		Power:      trace.Constant{P: 0.004},
+		Events:     steadyEvents(1, 2, 10, true),
+		Store:      store,
+		DrainTime:  300,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Brownouts < 2 {
+		t.Errorf("brownouts = %d, want several (store smaller than task energy)", res.Brownouts)
+	}
+	if res.JobsCompleted == 0 {
+		t.Error("no jobs completed despite JIT checkpointing")
+	}
+}
+
+// Energy conservation at the system level.
+func TestEnergyAccounting(t *testing.T) {
+	prof := device.Apollo4()
+	app := prof.PersonDetectionApp()
+	s, err := New(Config{
+		Profile: prof, App: app,
+		Controller: quetzalController(t, app),
+		Power:      trace.Constant{P: 0.01},
+		Events:     steadyEvents(3, 20, 10, true),
+		Seed:       8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HarvestedJoules <= 0 || res.ConsumedJoules <= 0 {
+		t.Errorf("energy accounting empty: harvested %g, consumed %g",
+			res.HarvestedJoules, res.ConsumedJoules)
+	}
+	if res.ConsumedJoules > res.HarvestedJoules+s.Store().UsableCapacity()+1e-6 {
+		t.Errorf("consumed %g J exceeds harvested %g J + initial store",
+			res.ConsumedJoules, res.HarvestedJoules)
+	}
+}
+
+// Overhead accounting: Quetzal (module) and Quetzal (division) must both
+// charge overhead, with the division path charging more.
+func TestOverheadAccounting(t *testing.T) {
+	prof := device.MSP430()
+	events := steadyEvents(5, 10, 10, true)
+	run := func(kind core.EstimatorKind) metrics.Results {
+		app := prof.PersonDetectionApp()
+		r, err := core.New(core.Config{App: app, CapturePeriod: 1, Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{
+			Profile: prof, App: app, Controller: r,
+			Power:  trace.Constant{P: 0.02},
+			Events: events,
+			Seed:   9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mod := run(core.HardwareModule)
+	div := run(core.ExactDivision)
+	if mod.OverheadJoules <= 0 || div.OverheadJoules <= 0 {
+		t.Fatalf("overheads not charged: module %g J, division %g J",
+			mod.OverheadJoules, div.OverheadJoules)
+	}
+	if mod.SchedInvocations == 0 {
+		t.Fatal("no scheduler invocations recorded")
+	}
+	perInvMod := mod.OverheadJoules / float64(mod.SchedInvocations)
+	perInvDiv := div.OverheadJoules / float64(div.SchedInvocations)
+	if perInvMod >= perInvDiv {
+		t.Errorf("module per-invocation overhead %g J not below division %g J", perInvMod, perInvDiv)
+	}
+}
+
+// The fused single-job app must work end to end and exercise conditional
+// task probabilities.
+func TestFusedAppRuns(t *testing.T) {
+	prof := device.Apollo4()
+	app := prof.FusedPipelineApp()
+	r, err := core.New(core.Config{App: app, CapturePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Profile: prof, App: app, Controller: r,
+		Power:  trace.Constant{P: 0.02},
+		Events: steadyEvents(4, 15, 10, false), // uninteresting events: mostly TN
+		Seed:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted == 0 {
+		t.Fatal("fused app completed no jobs")
+	}
+	if res.TrueNegatives == 0 {
+		t.Error("uninteresting events produced no true negatives")
+	}
+	// Conditional radio must fire only on (false) positives.
+	if res.TotalPackets() != res.FalsePositives {
+		t.Errorf("packets %d != false positives %d for uninteresting-only workload",
+			res.TotalPackets(), res.FalsePositives)
+	}
+}
+
+// Determinism: identical configs produce identical results.
+func TestDeterminism(t *testing.T) {
+	prof := device.Apollo4()
+	events := steadyEvents(4, 30, 15, true)
+	power := trace.SquareWave{High: 0.02, Low: 0.001, Period: 60, Duty: 0.5}
+	run := func() metrics.Results {
+		app := prof.PersonDetectionApp()
+		s, err := New(Config{
+			Profile: prof, App: app,
+			Controller: quetzalController(t, app),
+			Power:      power, Events: events, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two identical runs differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEvents throws arbitrary bytes at the event-trace parser: it must
+// never panic, and anything it accepts must validate and round-trip.
+func FuzzReadEvents(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteEvents(&seed, GenerateEvents(DefaultEventConfig(5, 30, 1))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"kind":"events","events":[{"Start":0,"Duration":-1}]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadEvents(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted trace fails Validate: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteEvents(&buf, tr); werr != nil {
+			t.Fatalf("round-trip write failed: %v", werr)
+		}
+		back, rerr := ReadEvents(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip read failed: %v", rerr)
+		}
+		if len(back.Events) != len(tr.Events) {
+			t.Fatalf("round trip changed event count")
+		}
+	})
+}
+
+// FuzzReadPower: same contract for the power-trace parser.
+func FuzzReadPower(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WritePower(&seed, &Sampled{Dt: 1, Samples: []float64{0, 1, 2}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"kind":"sampled-power","dt_seconds":0,"samples_watts":[1]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadPower(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.Dt <= 0 {
+			t.Fatal("accepted non-positive dt")
+		}
+		for _, s := range tr.Samples {
+			if s < 0 {
+				t.Fatal("accepted negative power")
+			}
+		}
+		// Sampling anywhere must be finite and non-negative.
+		for _, at := range []float64{-1, 0, 0.5, 1e9} {
+			if p := tr.Power(at); p < 0 {
+				t.Fatalf("negative power %g at t=%g", p, at)
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// File formats: traces serialise to JSON so cmd/tracegen can emit them and
+// experiments can replay externally supplied traces (e.g. a real solar
+// dataset converted offline).
+
+type powerFile struct {
+	Kind    string    `json:"kind"` // always "sampled-power"
+	Dt      float64   `json:"dt_seconds"`
+	Samples []float64 `json:"samples_watts"`
+}
+
+// WritePower serialises a sampled power trace as JSON.
+func WritePower(w io.Writer, s *Sampled) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(powerFile{Kind: "sampled-power", Dt: s.Dt, Samples: s.Samples})
+}
+
+// ReadPower deserialises a sampled power trace.
+func ReadPower(r io.Reader) (*Sampled, error) {
+	var f powerFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: decoding power trace: %w", err)
+	}
+	if f.Kind != "sampled-power" {
+		return nil, fmt.Errorf("trace: unexpected kind %q, want sampled-power", f.Kind)
+	}
+	if f.Dt <= 0 {
+		return nil, fmt.Errorf("trace: non-positive sample interval %g", f.Dt)
+	}
+	for i, s := range f.Samples {
+		if s < 0 {
+			return nil, fmt.Errorf("trace: negative power %g at sample %d", s, i)
+		}
+	}
+	return &Sampled{Dt: f.Dt, Samples: f.Samples}, nil
+}
+
+type eventFile struct {
+	Kind   string  `json:"kind"` // always "events"
+	Events []Event `json:"events"`
+}
+
+// WriteEvents serialises an event trace as JSON.
+func WriteEvents(w io.Writer, tr *EventTrace) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(eventFile{Kind: "events", Events: tr.Events})
+}
+
+// ReadEvents deserialises and validates an event trace.
+func ReadEvents(r io.Reader) (*EventTrace, error) {
+	var f eventFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: decoding event trace: %w", err)
+	}
+	if f.Kind != "events" {
+		return nil, fmt.Errorf("trace: unexpected kind %q, want events", f.Kind)
+	}
+	tr := &EventTrace{Events: f.Events}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

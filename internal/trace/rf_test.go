@@ -1,0 +1,76 @@
+package trace
+
+import "testing"
+
+func TestGenerateRFDeterministicAndBounded(t *testing.T) {
+	cfg := DefaultRFConfig(600, 5)
+	a := GenerateRF(cfg)
+	b := GenerateRF(cfg)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	maxAllowed := cfg.ActivePower * (1 + cfg.FadingDepth)
+	for i, p := range a.Samples {
+		if p < 0 || p > maxAllowed+1e-12 {
+			t.Fatalf("sample %d = %g outside [0, %g]", i, p, maxAllowed)
+		}
+	}
+}
+
+func TestGenerateRFIsBursty(t *testing.T) {
+	cfg := DefaultRFConfig(3000, 7)
+	s := GenerateRF(cfg)
+	// Count samples near the floor vs near the active level: both regimes
+	// must be visited substantially.
+	low, high := 0, 0
+	for _, p := range s.Samples {
+		if p < cfg.ActivePower/4 {
+			low++
+		} else {
+			high++
+		}
+	}
+	n := len(s.Samples)
+	if low < n/10 || high < n/20 {
+		t.Errorf("burstiness broken: %d low / %d high of %d samples", low, high, n)
+	}
+	// The long-run active share should be near MeanActive/(MeanActive+MeanIdle) = 0.25.
+	share := float64(high) / float64(n)
+	if share < 0.1 || share > 0.45 {
+		t.Errorf("active share = %.2f, want ≈ 0.25", share)
+	}
+}
+
+func TestGenerateRFValidation(t *testing.T) {
+	bad := []RFConfig{
+		{ActivePower: 0, FloorPower: 0, MeanActive: 1, MeanIdle: 1, Duration: 10, SampleDt: 1},
+		{ActivePower: 0.01, FloorPower: 0.02, MeanActive: 1, MeanIdle: 1, Duration: 10, SampleDt: 1}, // floor > active
+		{ActivePower: 0.01, FloorPower: 0, MeanActive: 0, MeanIdle: 1, Duration: 10, SampleDt: 1},
+		{ActivePower: 0.01, FloorPower: 0, MeanActive: 1, MeanIdle: 1, Duration: 0, SampleDt: 1},
+		{ActivePower: 0.01, FloorPower: 0, MeanActive: 1, MeanIdle: 1, Duration: 10, SampleDt: 1, FadingDepth: 1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: GenerateRF did not panic", i)
+				}
+			}()
+			GenerateRF(cfg)
+		}()
+	}
+}
+
+func TestRFTraceDrivesSimulatorShapedLikeRF(t *testing.T) {
+	// Mean power of the default profile: 0.25·40 mW + 0.75·0.5 mW ≈ 10 mW.
+	cfg := DefaultRFConfig(5000, 9)
+	mean := MeanPower(GenerateRF(cfg), cfg.Duration, 1)
+	if mean < 0.005 || mean > 0.02 {
+		t.Errorf("mean RF power = %g W, want ≈ 0.010", mean)
+	}
+}

@@ -1,0 +1,391 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{P: 0.02}
+	for _, tt := range []float64{0, 1, 1e6} {
+		if got := c.Power(tt); got != 0.02 {
+			t.Errorf("Power(%g) = %g, want 0.02", tt, got)
+		}
+	}
+}
+
+func TestSquareWave(t *testing.T) {
+	s := SquareWave{High: 1, Low: 0.1, Period: 10, Duty: 0.3}
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 1}, {2.9, 1}, {3.0, 0.1}, {9.9, 0.1}, {10.0, 1}, {12.5, 1}, {13.5, 0.1},
+	}
+	for _, c := range cases {
+		if got := s.Power(c.t); got != c.want {
+			t.Errorf("Power(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	// Negative times wrap.
+	if got := s.Power(-9); got != 1 { // -9 mod 10 = 1, inside duty
+		t.Errorf("Power(-9) = %g, want 1", got)
+	}
+	// Degenerate period returns High.
+	if got := (SquareWave{High: 2, Period: 0}).Power(5); got != 2 {
+		t.Errorf("degenerate SquareWave = %g, want 2", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled{Base: Constant{P: 0.03}, Factor: 1.0 / 3}
+	if got := s.Power(0); math.Abs(got-0.01) > 1e-15 {
+		t.Errorf("Scaled = %g, want 0.01", got)
+	}
+}
+
+func TestSampledInterpolation(t *testing.T) {
+	s := &Sampled{Dt: 1, Samples: []float64{0, 10, 20}}
+	cases := []struct {
+		t, want float64
+	}{
+		{-5, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.25, 12.5}, {2, 20}, {99, 20},
+	}
+	for _, c := range cases {
+		if got := s.Power(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Power(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := s.Duration(); got != 2 {
+		t.Errorf("Duration = %g, want 2", got)
+	}
+	if got := (&Sampled{Dt: 1}).Power(3); got != 0 {
+		t.Errorf("empty Sampled = %g, want 0", got)
+	}
+	if got := (&Sampled{Dt: 1, Samples: []float64{7}}).Power(3); got != 7 {
+		t.Errorf("single-sample = %g, want 7", got)
+	}
+}
+
+func TestGenerateSolarDeterministic(t *testing.T) {
+	cfg := DefaultSolarConfig(3600, 42)
+	a := GenerateSolar(cfg)
+	b := GenerateSolar(cfg)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %g vs %g", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	c := GenerateSolar(DefaultSolarConfig(3600, 43))
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateSolarPhysicalBounds(t *testing.T) {
+	cfg := DefaultSolarConfig(7200, 7)
+	s := GenerateSolar(cfg)
+	maxSeen := 0.0
+	for i, p := range s.Samples {
+		if p < 0 {
+			t.Fatalf("negative power %g at sample %d", p, i)
+		}
+		if p > maxSeen {
+			maxSeen = p
+		}
+	}
+	// Clear-sky peak with noise headroom.
+	if maxSeen > cfg.PeakPower*1.3 {
+		t.Errorf("max power %g exceeds plausible peak %g", maxSeen, cfg.PeakPower*1.3)
+	}
+	if maxSeen < cfg.PeakPower*0.05 {
+		t.Errorf("max power %g suspiciously low; generator broken?", maxSeen)
+	}
+}
+
+func TestGenerateSolarNightIsDark(t *testing.T) {
+	// The harness default stays inside daylight, so build an explicit
+	// full-cycle configuration to check the night behaviour.
+	cfg := DefaultSolarConfig(7200, 3)
+	cfg.DayLength = 7200
+	cfg.StartFraction = 0.15
+	cfg.NoiseStd = 0
+	s := GenerateSolar(cfg)
+	// Night spans phase [DaylightFraction, 1); with StartFraction 0.15 and a
+	// 7200 s day, night is t in [2520, 6120).
+	for _, tt := range []float64{2600, 4000, 6000} {
+		if got := s.Power(tt); got != 0 {
+			t.Errorf("night power at t=%g is %g, want 0", tt, got)
+		}
+	}
+}
+
+func TestGenerateSolarValidation(t *testing.T) {
+	bad := []SolarConfig{
+		{PeakPower: 0, DayLength: 100, Duration: 10, SampleDt: 1, DaylightFraction: 0.5},
+		{PeakPower: 1, DayLength: 0, Duration: 10, SampleDt: 1, DaylightFraction: 0.5},
+		{PeakPower: 1, DayLength: 100, Duration: 0, SampleDt: 1, DaylightFraction: 0.5},
+		{PeakPower: 1, DayLength: 100, Duration: 10, SampleDt: 0, DaylightFraction: 0.5},
+		{PeakPower: 1, DayLength: 100, Duration: 10, SampleDt: 1, DaylightFraction: 0},
+		{PeakPower: 1, DayLength: 100, Duration: 10, SampleDt: 1, DaylightFraction: 1.2},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: GenerateSolar did not panic", i)
+				}
+			}()
+			GenerateSolar(cfg)
+		}()
+	}
+}
+
+func TestMeanAndMaxPower(t *testing.T) {
+	sq := SquareWave{High: 1, Low: 0, Period: 10, Duty: 0.5}
+	mean := MeanPower(sq, 100, 0.1)
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("MeanPower = %g, want ≈ 0.5", mean)
+	}
+	if got := MaxPower(sq, 100, 0.1); got != 1 {
+		t.Errorf("MaxPower = %g, want 1", got)
+	}
+	if got := MeanPower(sq, 0, 1); got != 0 {
+		t.Errorf("MeanPower over zero duration = %g, want 0", got)
+	}
+}
+
+func TestGenerateEventsStructure(t *testing.T) {
+	cfg := DefaultEventConfig(200, 60, 11)
+	tr := GenerateEvents(cfg)
+	if len(tr.Events) != 200 {
+		t.Fatalf("generated %d events, want 200", len(tr.Events))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i, e := range tr.Events {
+		if e.Duration > cfg.MaxDuration+1e-9 {
+			t.Errorf("event %d duration %g exceeds cap %g", i, e.Duration, cfg.MaxDuration)
+		}
+		if e.Duration < cfg.MinDuration-1e-9 {
+			t.Errorf("event %d duration %g below min %g", i, e.Duration, cfg.MinDuration)
+		}
+	}
+	// Roughly half should be interesting.
+	n := tr.CountInteresting()
+	if n < 60 || n > 140 {
+		t.Errorf("interesting events = %d of 200, want ≈ 100", n)
+	}
+	if tr.InterestingSeconds() <= 0 {
+		t.Error("InterestingSeconds = 0")
+	}
+}
+
+func TestGenerateEventsDeterministic(t *testing.T) {
+	a := GenerateEvents(DefaultEventConfig(50, 60, 5))
+	b := GenerateEvents(DefaultEventConfig(50, 60, 5))
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestEnvironmentKnobChangesDurations(t *testing.T) {
+	// More Crowded (600 s cap) must have a longer mean event duration than
+	// Less Crowded (20 s cap): this is the paper's environment knob.
+	more := GenerateEvents(DefaultEventConfig(300, 600, 9))
+	less := GenerateEvents(DefaultEventConfig(300, 20, 9))
+	meanDur := func(tr *EventTrace) float64 {
+		s := 0.0
+		for _, e := range tr.Events {
+			s += e.Duration
+		}
+		return s / float64(len(tr.Events))
+	}
+	if meanDur(more) <= meanDur(less) {
+		t.Errorf("mean durations: more=%g ≤ less=%g", meanDur(more), meanDur(less))
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	tr := &EventTrace{Events: []Event{
+		{Start: 10, Duration: 5, Interesting: true},
+		{Start: 20, Duration: 2},
+	}}
+	if _, ok := tr.ActiveAt(5); ok {
+		t.Error("ActiveAt(5) reported an event before any start")
+	}
+	e, ok := tr.ActiveAt(12)
+	if !ok || !e.Interesting {
+		t.Errorf("ActiveAt(12) = (%+v, %v), want the interesting event", e, ok)
+	}
+	if _, ok := tr.ActiveAt(15); ok {
+		t.Error("ActiveAt(15) reported an event at its exclusive end")
+	}
+	e, ok = tr.ActiveAt(21)
+	if !ok || e.Interesting {
+		t.Errorf("ActiveAt(21) = (%+v, %v), want the uninteresting event", e, ok)
+	}
+	if _, ok := tr.ActiveAt(100); ok {
+		t.Error("ActiveAt(100) reported an event after the trace")
+	}
+	if got := tr.Duration(); got != 22 {
+		t.Errorf("Duration = %g, want 22", got)
+	}
+	if got := (&EventTrace{}).Duration(); got != 0 {
+		t.Errorf("empty Duration = %g, want 0", got)
+	}
+}
+
+func TestGenerateEventsValidation(t *testing.T) {
+	bad := []EventConfig{
+		{N: 0, MaxDuration: 10, MedianDuration: 2, MeanInterarrival: 5},
+		{N: 5, MaxDuration: 0, MedianDuration: 2, MeanInterarrival: 5},
+		{N: 5, MaxDuration: 10, MedianDuration: 0, MeanInterarrival: 5},
+		{N: 5, MaxDuration: 10, MedianDuration: 2, MeanInterarrival: 0},
+		{N: 5, MaxDuration: 10, MedianDuration: 2, MeanInterarrival: 5, InterestingProb: 2},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: GenerateEvents did not panic", i)
+				}
+			}()
+			GenerateEvents(cfg)
+		}()
+	}
+}
+
+func TestValidateCatchesBrokenTraces(t *testing.T) {
+	overlap := &EventTrace{Events: []Event{{Start: 0, Duration: 10}, {Start: 5, Duration: 1}}}
+	if err := overlap.Validate(); err == nil {
+		t.Error("Validate accepted overlapping events")
+	}
+	nonpos := &EventTrace{Events: []Event{{Start: 0, Duration: 0}}}
+	if err := nonpos.Validate(); err == nil {
+		t.Error("Validate accepted zero-duration event")
+	}
+}
+
+func TestPowerRoundTrip(t *testing.T) {
+	s := GenerateSolar(DefaultSolarConfig(120, 1))
+	var buf bytes.Buffer
+	if err := WritePower(&buf, s); err != nil {
+		t.Fatalf("WritePower: %v", err)
+	}
+	back, err := ReadPower(&buf)
+	if err != nil {
+		t.Fatalf("ReadPower: %v", err)
+	}
+	if back.Dt != s.Dt || len(back.Samples) != len(s.Samples) {
+		t.Fatalf("round trip mismatch: dt %g/%g len %d/%d", back.Dt, s.Dt, len(back.Samples), len(s.Samples))
+	}
+	for i := range s.Samples {
+		if math.Abs(back.Samples[i]-s.Samples[i]) > 1e-12 {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestReadPowerRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"kind":"wrong","dt_seconds":1,"samples_watts":[1]}`,
+		`{"kind":"sampled-power","dt_seconds":0,"samples_watts":[1]}`,
+		`{"kind":"sampled-power","dt_seconds":1,"samples_watts":[-1]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ReadPower(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: ReadPower accepted %q", i, c)
+		}
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	tr := GenerateEvents(DefaultEventConfig(20, 60, 3))
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, tr); err != nil {
+		t.Fatalf("WriteEvents: %v", err)
+	}
+	back, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range tr.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestReadEventsRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"kind":"wrong","events":[]}`,
+		`{"kind":"events","events":[{"Start":0,"Duration":0}]}`,
+		`garbage`,
+	}
+	for i, c := range cases {
+		if _, err := ReadEvents(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: ReadEvents accepted %q", i, c)
+		}
+	}
+}
+
+// Property: generated event traces always validate and respect caps.
+func TestPropertyEventsValid(t *testing.T) {
+	f := func(seed int64, nRaw, maxRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		maxDur := float64(maxRaw%100) + 5
+		tr := GenerateEvents(DefaultEventConfig(n, maxDur, seed))
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		for _, e := range tr.Events {
+			if e.Duration > maxDur {
+				return false
+			}
+		}
+		return len(tr.Events) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ActiveAt agrees with a linear scan.
+func TestPropertyActiveAtMatchesScan(t *testing.T) {
+	f := func(seed int64, tRaw uint16) bool {
+		tr := GenerateEvents(DefaultEventConfig(40, 30, seed))
+		tt := math.Mod(float64(tRaw), tr.Duration())
+		want, wantOK := Event{}, false
+		for _, e := range tr.Events {
+			if e.Start <= tt && tt < e.End() {
+				want, wantOK = e, true
+				break
+			}
+		}
+		got, ok := tr.ActiveAt(tt)
+		return ok == wantOK && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

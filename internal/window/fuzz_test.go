@@ -1,0 +1,47 @@
+package window
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzBitWindow drives a window with an arbitrary op stream and checks the
+// incremental 1-counter against a reference popcount after every step.
+func FuzzBitWindow(f *testing.F) {
+	f.Add(uint16(64), []byte{0x2f, 0x81, 0x00})
+	f.Add(uint16(1), []byte{0xff})
+	f.Add(uint16(200), []byte{})
+	f.Fuzz(func(t *testing.T, sizeRaw uint16, ops []byte) {
+		size := int(sizeRaw)%300 + 1
+		w := New(size)
+		var history []bool
+		for _, op := range ops {
+			for b := 0; b < 8; b++ {
+				v := op>>uint(b)&1 == 1
+				w.Push(v)
+				history = append(history, v)
+			}
+			if got, want := w.Ones(), suffixOnes(history, size); got != want {
+				t.Fatalf("size=%d after %d pushes: Ones=%d, want %d", size, len(history), got, want)
+			}
+			if w.Len() > size {
+				t.Fatalf("Len %d exceeds size %d", w.Len(), size)
+			}
+		}
+		_ = bits.OnesCount8(0) // keep the import honest
+	})
+}
+
+func suffixOnes(history []bool, size int) int {
+	start := 0
+	if len(history) > size {
+		start = len(history) - size
+	}
+	n := 0
+	for _, v := range history[start:] {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnNonPositiveSize(t *testing.T) {
+	for _, size := range []int{0, -1, -64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", size)
+				}
+			}()
+			New(size)
+		}()
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	w := New(8)
+	if got := w.Len(); got != 0 {
+		t.Errorf("Len() = %d, want 0", got)
+	}
+	if got := w.Ones(); got != 0 {
+		t.Errorf("Ones() = %d, want 0", got)
+	}
+	if got := w.Fraction(0.5); got != 0.5 {
+		t.Errorf("Fraction(0.5) on empty window = %g, want fallback 0.5", got)
+	}
+}
+
+func TestPushBelowCapacity(t *testing.T) {
+	w := New(8)
+	w.Push(true)
+	w.Push(false)
+	w.Push(true)
+	if w.Len() != 3 || w.Ones() != 2 {
+		t.Errorf("after 3 pushes: Len=%d Ones=%d, want 3, 2", w.Len(), w.Ones())
+	}
+	if got, want := w.Fraction(0), 2.0/3.0; got != want {
+		t.Errorf("Fraction = %g, want %g", got, want)
+	}
+}
+
+func TestEvictionAtCapacity(t *testing.T) {
+	w := New(4)
+	for _, v := range []bool{true, true, false, false} {
+		w.Push(v)
+	}
+	if w.Ones() != 2 {
+		t.Fatalf("Ones = %d, want 2", w.Ones())
+	}
+	// Next push evicts the oldest (true).
+	w.Push(false)
+	if w.Len() != 4 || w.Ones() != 1 {
+		t.Errorf("after eviction: Len=%d Ones=%d, want 4, 1", w.Len(), w.Ones())
+	}
+	// Evict the second-oldest (true) while pushing a true: count unchanged.
+	w.Push(true)
+	if w.Ones() != 1 {
+		t.Errorf("after swap push: Ones=%d, want 1", w.Ones())
+	}
+}
+
+func TestAllOnesThenAllZeros(t *testing.T) {
+	w := New(100)
+	for i := 0; i < 100; i++ {
+		w.Push(true)
+	}
+	if w.Ones() != 100 {
+		t.Fatalf("Ones = %d, want 100", w.Ones())
+	}
+	for i := 0; i < 100; i++ {
+		w.Push(false)
+	}
+	if w.Ones() != 0 {
+		t.Errorf("Ones = %d after flushing with zeros, want 0", w.Ones())
+	}
+	if w.Len() != 100 {
+		t.Errorf("Len = %d, want 100", w.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := New(16)
+	for i := 0; i < 20; i++ {
+		w.Push(i%2 == 0)
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Ones() != 0 {
+		t.Errorf("after Reset: Len=%d Ones=%d, want 0, 0", w.Len(), w.Ones())
+	}
+	w.Push(true)
+	if w.Ones() != 1 || w.Len() != 1 {
+		t.Errorf("push after Reset: Len=%d Ones=%d, want 1, 1", w.Len(), w.Ones())
+	}
+}
+
+func TestString(t *testing.T) {
+	w := New(8)
+	w.Push(true)
+	if got, want := w.String(), "window{1/8 ones=1}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestOnesMatchesRecount verifies the incremental 1-counter never drifts from
+// a ground-truth popcount, across window sizes including non-multiples of 64.
+func TestOnesMatchesRecount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{1, 3, 63, 64, 65, 100, 128, 200, 256} {
+		w := New(size)
+		for i := 0; i < 3*size+17; i++ {
+			w.Push(rng.Intn(2) == 0)
+			if got, want := w.Ones(), w.Recount(); got != want {
+				t.Fatalf("size=%d push=%d: Ones=%d, Recount=%d", size, i, got, want)
+			}
+		}
+	}
+}
+
+// Property: a window of size N fed K≥N observations reports exactly the
+// number of set values among the last N observations.
+func TestPropertyWindowMatchesSuffix(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8, extraRaw uint16) bool {
+		size := int(sizeRaw)%200 + 1
+		total := size + int(extraRaw)%500
+		rng := rand.New(rand.NewSource(seed))
+		w := New(size)
+		history := make([]bool, 0, total)
+		for i := 0; i < total; i++ {
+			v := rng.Intn(2) == 0
+			history = append(history, v)
+			w.Push(v)
+		}
+		want := 0
+		for _, v := range history[len(history)-size:] {
+			if v {
+				want++
+			}
+		}
+		return w.Ones() == want && w.Len() == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fraction is always within [0,1] and Ones ≤ Len ≤ Size.
+func TestPropertyInvariants(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8, nRaw uint16) bool {
+		size := int(sizeRaw)%300 + 1
+		n := int(nRaw) % 700
+		rng := rand.New(rand.NewSource(seed))
+		w := New(size)
+		for i := 0; i < n; i++ {
+			w.Push(rng.Intn(3) == 0)
+			frac := w.Fraction(0)
+			if frac < 0 || frac > 1 {
+				return false
+			}
+			if w.Ones() > w.Len() || w.Len() > w.Size() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultSizesMatchPaper(t *testing.T) {
+	if DefaultTaskWindow != 64 {
+		t.Errorf("DefaultTaskWindow = %d, want 64 (Table 1)", DefaultTaskWindow)
+	}
+	if DefaultArrivalWindow != 256 {
+		t.Errorf("DefaultArrivalWindow = %d, want 256 (Table 1)", DefaultArrivalWindow)
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	w := New(DefaultArrivalWindow)
+	for i := 0; i < b.N; i++ {
+		w.Push(i&1 == 0)
+	}
+}

@@ -1,0 +1,151 @@
+package quetzal_test
+
+import (
+	"testing"
+
+	"quetzal"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: profile → app →
+// runtime → simulation, plus a baseline for comparison.
+func TestFacadeEndToEnd(t *testing.T) {
+	profile := quetzal.Apollo4()
+	app := profile.PersonDetectionApp()
+
+	rt, err := quetzal.NewRuntime(quetzal.RuntimeConfig{
+		App:           app,
+		CapturePeriod: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+
+	events := quetzal.GenerateEvents(quetzal.DefaultEventConfig(40, 60, 1))
+	power := quetzal.GenerateSolar(quetzal.DefaultSolarConfig(events.Duration()+120, 2))
+
+	res, err := quetzal.Simulate(quetzal.SimConfig{
+		Profile:    profile,
+		App:        app,
+		Controller: rt,
+		Power:      power,
+		Events:     events,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("inconsistent results: %v", err)
+	}
+	if res.JobsCompleted == 0 || res.InterestingArrivals == 0 {
+		t.Fatalf("nothing happened: %+v", res)
+	}
+
+	naApp := profile.PersonDetectionApp()
+	na, err := quetzal.NoAdapt(naApp)
+	if err != nil {
+		t.Fatalf("NoAdapt: %v", err)
+	}
+	naRes, err := quetzal.Simulate(quetzal.SimConfig{
+		Profile:    profile,
+		App:        naApp,
+		Controller: na,
+		Power:      power,
+		Events:     events,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatalf("Simulate(NoAdapt): %v", err)
+	}
+	if res.InterestingDiscarded() >= naRes.InterestingDiscarded() {
+		t.Errorf("quetzal discarded %d, noadapt %d — want quetzal lower",
+			res.InterestingDiscarded(), naRes.InterestingDiscarded())
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	app := quetzal.MSP430().PersonDetectionApp()
+	if _, err := quetzal.CatNap(app); err != nil {
+		t.Errorf("CatNap: %v", err)
+	}
+	if _, err := quetzal.AlwaysDegrade(app); err != nil {
+		t.Errorf("AlwaysDegrade: %v", err)
+	}
+	if _, err := quetzal.FixedThreshold(app, 0.5); err != nil {
+		t.Errorf("FixedThreshold: %v", err)
+	}
+	if _, err := quetzal.FixedThreshold(app, 2); err == nil {
+		t.Error("FixedThreshold accepted frac > 1")
+	}
+	if _, err := quetzal.ProteanZygarde(app, 0.5, false); err != nil {
+		t.Errorf("ProteanZygarde: %v", err)
+	}
+	if _, err := quetzal.ProteanZygarde(app, 0.1, true); err != nil {
+		t.Errorf("ProteanZygarde oracle: %v", err)
+	}
+	for _, p := range []quetzal.Policy{quetzal.EnergySJF(), quetzal.FCFS(), quetzal.LCFS(), quetzal.CaptureOrder()} {
+		if p.Name() == "" {
+			t.Error("policy with empty name")
+		}
+	}
+	if quetzal.NewInputBuffer(4).Capacity() != 4 {
+		t.Error("NewInputBuffer capacity mismatch")
+	}
+	if quetzal.DefaultStoreConfig().Capacitance != 0.033 {
+		t.Error("DefaultStoreConfig is not the paper's 33 mF part")
+	}
+}
+
+// TestCustomApplication builds an app from scratch through the facade —
+// the path a downstream user takes for their own workload.
+func TestCustomApplication(t *testing.T) {
+	sense := &quetzal.Task{
+		Name: "classify-audio",
+		Kind: quetzal.Classify,
+		Options: []quetzal.Option{
+			{Name: "large", Texe: 0.5, Pexe: 0.008, FalseNegative: 0.05, FalsePositive: 0.04},
+			{Name: "small", Texe: 0.1, Pexe: 0.006, FalseNegative: 0.20, FalsePositive: 0.12},
+		},
+	}
+	notify := &quetzal.Task{
+		Name: "notify",
+		Kind: quetzal.Transmit,
+		Options: []quetzal.Option{
+			{Name: "clip", Texe: 0.6, Pexe: 0.09, HighQuality: true},
+			{Name: "flag", Texe: 0.05, Pexe: 0.03},
+		},
+	}
+	app := &quetzal.App{
+		Name: "acoustic-monitor",
+		Jobs: []*quetzal.Job{
+			{ID: 0, Name: "detect", Tasks: []*quetzal.Task{sense}, SpawnJobID: 1},
+			{ID: 1, Name: "notify", Tasks: []*quetzal.Task{notify}, SpawnJobID: quetzal.NoSpawn},
+		},
+		EntryJobID:  0,
+		CaptureTexe: 0.02,
+		CapturePexe: 0.004,
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	rt, err := quetzal.NewRuntime(quetzal.RuntimeConfig{App: app, CapturePeriod: 2})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	events := quetzal.GenerateEvents(quetzal.DefaultEventConfig(20, 30, 5))
+	res, err := quetzal.Simulate(quetzal.SimConfig{
+		Profile:       quetzal.Apollo4(),
+		App:           app,
+		Controller:    rt,
+		Power:         quetzal.ConstantPower{P: 0.01},
+		Events:        events,
+		CapturePeriod: 2,
+		Seed:          6,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.JobsCompleted == 0 {
+		t.Error("custom app completed no jobs")
+	}
+}
