@@ -2,38 +2,65 @@
 // figures. Each figure id maps to an experiment in internal/experiments;
 // see DESIGN.md for the index.
 //
+// Figures are declarative run plans resolved against one shared sweep: the
+// unique (system, environment, setup) runs all requested figures need are
+// executed exactly once on a worker pool, figures render concurrently, and
+// the output is byte-identical at any -parallel setting.
+//
 // Usage:
 //
-//	experiments [-fig all|2b|3|8|9|10|11|11c|12|13|14|circuit|table1]
+//	experiments [-fig all|2b|3|8|9|10|11|11c|12|13|14|circuit|table1|...]
 //	            [-events N] [-seed N] [-mcu apollo4|msp430] [-csv]
+//	            [-parallel N] [-timeout D] [-progress] [-fast]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"quetzal/internal/device"
 	"quetzal/internal/experiments"
 	"quetzal/internal/report"
+	"quetzal/internal/runner"
 	"quetzal/internal/sim"
 )
 
+// figOrder is the canonical figure id order, used for "all" and for the
+// -fig validation error message.
+var figOrder = []string{"table1", "2b", "3", "8", "9", "10", "11", "11c", "12", "13",
+	"14", "circuit", "jitter", "checkpoint", "mcus", "ladder", "buffer", "seeds"}
+
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate (2b,3,8,9,10,11,11c,12,13,14,circuit,table1,jitter,checkpoint,mcus,ladder,buffer,seeds,all)")
-		events = flag.Int("events", 0, "events per run (0 = harness default 300; paper uses 1000)")
-		seed   = flag.Int64("seed", 42, "trace and classifier seed")
-		mcu    = flag.String("mcu", "apollo4", "device profile: apollo4 or msp430")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		md     = flag.Bool("md", false, "emit Markdown tables")
-		svgDir = flag.String("svg", "", "also write an SVG chart per figure into this directory")
-		fast   = flag.Bool("fast", false, "use the event-driven engine (~100x faster, statistically matching)")
+		fig      = flag.String("fig", "all", "comma-separated figure ids to regenerate ("+strings.Join(figOrder, ",")+",all)")
+		events   = flag.Int("events", 0, "events per run (0 = harness default 300; paper uses 1000)")
+		seed     = flag.Int64("seed", 42, "trace and classifier seed")
+		mcu      = flag.String("mcu", "apollo4", "device profile: apollo4 or msp430")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		md       = flag.Bool("md", false, "emit Markdown tables")
+		svgDir   = flag.String("svg", "", "also write an SVG chart per figure into this directory")
+		fast     = flag.Bool("fast", false, "use the event-driven engine (~100x faster, statistically matching)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per CPU)")
+		timeout  = flag.Duration("timeout", 0, "per-run timeout, e.g. 30s (0 = none)")
+		progress = flag.Bool("progress", false, "log each run to stderr as it completes")
 	)
 	flag.Parse()
+
+	// Validate and de-duplicate the figure list before any simulation
+	// starts: a typo should fail in milliseconds, not partway through a
+	// long sweep.
+	ids, err := parseFigs(*fig)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	setup := experiments.DefaultSetup()
 	setup.Seed = *seed
@@ -53,18 +80,53 @@ func main() {
 		os.Exit(2)
 	}
 
-	ids := strings.Split(*fig, ",")
-	if *fig == "all" {
-		ids = []string{"table1", "2b", "3", "8", "9", "10", "11", "11c", "12", "13", "14", "circuit", "jitter", "checkpoint", "mcus", "ladder", "buffer", "seeds"}
+	cfg := runner.Config[experiments.RunKey]{Workers: *parallel, RunTimeout: *timeout}
+	if *progress {
+		cfg.OnEvent = func(ev runner.Event[experiments.RunKey]) {
+			switch {
+			case ev.Cached:
+				fmt.Fprintf(os.Stderr, "[cached] %v\n", ev.Key)
+			case ev.Err != nil:
+				fmt.Fprintf(os.Stderr, "[run %d] %v FAILED: %v\n", ev.Executed, ev.Key, ev.Err)
+			default:
+				fmt.Fprintf(os.Stderr, "[run %d] %v in %v\n",
+					ev.Executed, ev.Key, ev.Duration.Round(time.Millisecond))
+			}
+		}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		tables, err := run(setup, strings.TrimSpace(id))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fig %s: %v\n", id, err)
+	sw := experiments.NewSweepConfig(setup, cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// All figures run concurrently against the shared sweep; rendering
+	// happens afterwards in the requested order, so output is deterministic
+	// regardless of completion order.
+	type figOut struct {
+		tables []*report.Table
+		err    error
+		took   time.Duration
+	}
+	outs := make([]figOut, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			start := time.Now()
+			tables, err := runFig(ctx, sw, id)
+			outs[i] = figOut{tables: tables, err: err, took: time.Since(start)}
+		}(i, id)
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		out := outs[i]
+		if out.err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", id, out.err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
+		for _, t := range out.tables {
 			var rerr error
 			switch {
 			case *csv:
@@ -80,15 +142,57 @@ func main() {
 			}
 		}
 		if *svgDir != "" {
-			if err := writeSVGs(*svgDir, strings.TrimSpace(id), tables); err != nil {
+			if err := writeSVGs(*svgDir, id, out.tables); err != nil {
 				fmt.Fprintf(os.Stderr, "svg for fig %s: %v\n", id, err)
 				os.Exit(1)
 			}
 		}
 		if !*csv && !*md {
-			fmt.Printf("[fig %s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("[fig %s done in %v]\n\n", id, out.took.Round(time.Millisecond))
 		}
 	}
+	if !*csv && !*md {
+		fmt.Printf("[sweep: %v, %d workers]\n", sw.Ledger(), sw.Workers())
+	}
+}
+
+// parseFigs validates and de-duplicates a comma-separated figure id list.
+// "all" (alone) expands to every figure. Unknown ids produce one error
+// naming them all plus the valid set.
+func parseFigs(arg string) ([]string, error) {
+	valid := make(map[string]bool, len(figOrder))
+	for _, id := range figOrder {
+		valid[id] = true
+	}
+	var ids, unknown []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(arg, ",") {
+		id := strings.TrimSpace(raw)
+		switch {
+		case id == "":
+			continue
+		case id == "all":
+			for _, fid := range figOrder {
+				if !seen[fid] {
+					seen[fid] = true
+					ids = append(ids, fid)
+				}
+			}
+		case !valid[id]:
+			unknown = append(unknown, fmt.Sprintf("%q", id))
+		case !seen[id]:
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown figure id(s) %s; valid ids: %s, all",
+			strings.Join(unknown, ", "), strings.Join(figOrder, ", "))
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no figure ids given; valid ids: %s, all", strings.Join(figOrder, ", "))
+	}
+	return ids, nil
 }
 
 // chartSpec says how a figure's table maps onto a grouped bar chart:
@@ -145,7 +249,8 @@ func writeSVGs(dir, id string, tables []*report.Table) error {
 	return nil
 }
 
-func run(setup experiments.Setup, id string) ([]*report.Table, error) {
+// runFig resolves one figure id against the shared sweep.
+func runFig(ctx context.Context, sw *experiments.Sweep, id string) ([]*report.Table, error) {
 	one := func(t *report.Table, err error) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
@@ -154,41 +259,41 @@ func run(setup experiments.Setup, id string) ([]*report.Table, error) {
 	}
 	switch id {
 	case "table1":
-		return []*report.Table{setup.Table1()}, nil
+		return []*report.Table{sw.Setup.Table1()}, nil
 	case "2b":
-		return one(setup.Fig2b())
+		return one(sw.Fig2b(ctx))
 	case "3":
-		return one(setup.Fig3())
+		return one(sw.Fig3(ctx))
 	case "8":
-		return one(setup.Fig8())
+		return one(sw.Fig8(ctx))
 	case "9":
-		return one(setup.Fig9())
+		return one(sw.Fig9(ctx))
 	case "10":
-		return one(setup.Fig10())
+		return one(sw.Fig10(ctx))
 	case "11":
-		return one(setup.Fig11())
+		return one(sw.Fig11(ctx))
 	case "11c":
-		return one(setup.Fig11c())
+		return one(sw.Fig11c(ctx))
 	case "12":
-		return one(setup.Fig12())
+		return one(sw.Fig12(ctx))
 	case "13":
-		return one(setup.Fig13())
+		return one(sw.Fig13(ctx))
 	case "14":
-		return setup.Fig14()
+		return sw.Fig14(ctx)
 	case "circuit":
 		return experiments.CircuitStudy(), nil
 	case "jitter":
-		return one(setup.JitterStudy())
+		return one(sw.JitterStudy(ctx))
 	case "checkpoint":
-		return one(setup.CheckpointStudy())
+		return one(sw.CheckpointStudy(ctx))
 	case "mcus":
-		return one(setup.MCUStudy())
+		return one(sw.MCUStudy(ctx))
 	case "ladder":
-		return one(setup.LadderStudy())
+		return one(sw.LadderStudy(ctx))
 	case "buffer":
-		return one(setup.BufferStudy())
+		return one(sw.BufferStudy(ctx))
 	case "seeds":
-		return one(setup.SeedStudy())
+		return one(sw.SeedStudy(ctx))
 	default:
 		return nil, fmt.Errorf("unknown figure id %q", id)
 	}

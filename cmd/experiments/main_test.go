@@ -1,9 +1,13 @@
 package main
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"quetzal/internal/experiments"
+	"quetzal/internal/runner"
+	"quetzal/internal/sim"
 )
 
 func tinySetup() experiments.Setup {
@@ -18,11 +22,10 @@ func TestRunAllFigureIDs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
 	}
-	setup := tinySetup()
-	ids := []string{"table1", "2b", "3", "8", "9", "10", "11", "11c", "12", "13",
-		"14", "circuit", "jitter", "checkpoint", "mcus", "ladder", "buffer", "seeds"}
-	for _, id := range ids {
-		tables, err := run(setup, id)
+	sw := experiments.NewSweep(tinySetup())
+	ctx := context.Background()
+	for _, id := range figOrder {
+		tables, err := runFig(ctx, sw, id)
 		if err != nil {
 			t.Fatalf("fig %s: %v", id, err)
 		}
@@ -35,10 +38,81 @@ func TestRunAllFigureIDs(t *testing.T) {
 			}
 		}
 	}
+	if l := sw.Ledger(); l.CacheHits == 0 {
+		t.Errorf("full figure set produced no cache hits: %v", l)
+	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if _, err := run(tinySetup(), "nope"); err == nil {
-		t.Error("run accepted unknown figure id")
+	if _, err := runFig(context.Background(), experiments.NewSweep(tinySetup()), "nope"); err == nil {
+		t.Error("runFig accepted unknown figure id")
+	}
+}
+
+func TestParseFigs(t *testing.T) {
+	// "all" expands to the full ordered set.
+	ids, err := parseFigs("all")
+	if err != nil {
+		t.Fatalf("parseFigs(all): %v", err)
+	}
+	if len(ids) != len(figOrder) {
+		t.Errorf("all → %d ids, want %d", len(ids), len(figOrder))
+	}
+
+	// Duplicates and whitespace are cleaned up; order is preserved.
+	ids, err = parseFigs(" 9 ,3,9, 3 ")
+	if err != nil {
+		t.Fatalf("parseFigs: %v", err)
+	}
+	if len(ids) != 2 || ids[0] != "9" || ids[1] != "3" {
+		t.Errorf("parseFigs dedupe = %v, want [9 3]", ids)
+	}
+
+	// Unknown ids fail fast with the full valid list, naming every typo.
+	_, err = parseFigs("3,bogus,9,nope")
+	if err == nil {
+		t.Fatal("parseFigs accepted unknown ids")
+	}
+	for _, frag := range []string{`"bogus"`, `"nope"`, "valid ids", "11c", "checkpoint"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("parseFigs error %q missing %q", err, frag)
+		}
+	}
+
+	// Empty input is an error, not an empty sweep.
+	if _, err := parseFigs(" , "); err == nil {
+		t.Error("parseFigs accepted an empty id list")
+	}
+}
+
+// TestCLIDeterminism: a representative figure subset must render
+// byte-identically at -parallel 1 and -parallel 8 (the correctness bar for
+// the concurrent sweep). The deeper check lives in internal/experiments;
+// this one goes through the CLI's own runFig path.
+func TestCLIDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders several figures twice")
+	}
+	render := func(workers int) string {
+		s := tinySetup()
+		s.Engine = sim.EventDriven
+		sw := experiments.NewSweepConfig(s, runner.Config[experiments.RunKey]{Workers: workers})
+		var b strings.Builder
+		for _, id := range []string{"3", "9", "11c"} {
+			tables, err := runFig(context.Background(), sw, id)
+			if err != nil {
+				t.Fatalf("workers=%d fig %s: %v", workers, id, err)
+			}
+			for _, tb := range tables {
+				if err := tb.Render(&b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return b.String()
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
 	}
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"quetzal/internal/baseline"
@@ -129,6 +130,21 @@ func FixedThresholdID(frac float64) string {
 
 // Run executes one system in one environment and returns its results.
 func (s Setup) Run(systemID string, env Environment) (metrics.Results, error) {
+	return s.RunContext(context.Background(), systemID, env)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx and abandons the run when it is done, so sweeps support ctrl-C and
+// per-run timeouts.
+func (s Setup) RunContext(ctx context.Context, systemID string, env Environment) (metrics.Results, error) {
+	return s.runContext(ctx, systemID, env, nil)
+}
+
+// runContext executes one system in one environment, with optional
+// simulator-level overrides applied after the Setup-derived configuration
+// is assembled. It is the single execution path every figure and study
+// funnels through.
+func (s Setup) runContext(ctx context.Context, systemID string, env Environment, mutate func(*sim.Config)) (metrics.Results, error) {
 	if systemID == SysIdeal {
 		return s.ideal(env), nil
 	}
@@ -140,7 +156,7 @@ func (s Setup) Run(systemID string, env Environment) (metrics.Results, error) {
 		return metrics.Results{}, err
 	}
 
-	simulator, err := sim.New(sim.Config{
+	cfg := sim.Config{
 		Profile:        s.Profile,
 		App:            app,
 		Controller:     ctl,
@@ -152,11 +168,15 @@ func (s Setup) Run(systemID string, env Environment) (metrics.Results, error) {
 		BufferCapacity: bufCap,
 		Seed:           s.Seed + 7,
 		Environment:    env.Name,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	simulator, err := sim.New(cfg)
 	if err != nil {
 		return metrics.Results{}, err
 	}
-	res, err := simulator.Run()
+	res, err := simulator.RunContext(ctx)
 	if err != nil {
 		return res, fmt.Errorf("experiments: %s/%s: %w", systemID, env.Name, err)
 	}

@@ -1,11 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"quetzal/internal/device"
-	"quetzal/internal/energy"
 	"quetzal/internal/metrics"
 	"quetzal/internal/report"
 	"quetzal/internal/sim"
@@ -14,71 +13,47 @@ import (
 // The studies in this file go beyond the paper's figures: they exercise the
 // extensions DESIGN.md lists (variable execution costs — the paper's §8
 // future work —, checkpoint policies for the intermittent substrate, and a
-// third MCU) so the design decisions have measurable ablations.
+// third MCU) so the design decisions have measurable ablations. Like the
+// figures, each is a declarative run plan resolved through the sweep's
+// shared memoizing pool.
 
-// runWith executes a system with extra simulator knobs applied.
-func (s Setup) runWith(systemID string, env Environment, mutate func(*sim.Config)) (metrics.Results, error) {
-	power, events := s.Traces(env)
-	app := s.Profile.PersonDetectionApp()
-	ctl, bufCap, err := s.controller(systemID, app, power, events)
-	if err != nil {
-		return metrics.Results{}, err
-	}
-	cfg := sim.Config{
-		Profile:        s.Profile,
-		App:            app,
-		Controller:     ctl,
-		Power:          power,
-		Events:         events,
-		Engine:         s.Engine,
-		CapturePeriod:  s.capturePeriod(),
-		StepDt:         s.StepDt,
-		BufferCapacity: bufCap,
-		Seed:           s.Seed + 7,
-		Environment:    env.Name,
-	}
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	simulator, err := sim.New(cfg)
-	if err != nil {
-		return metrics.Results{}, err
-	}
-	res, err := simulator.Run()
-	if err != nil {
-		return res, fmt.Errorf("experiments: %s/%s: %w", systemID, env.Name, err)
-	}
-	res.System = systemID
-	return res, nil
-}
-
-// RunWithTimeline is Run with a per-second CSV timeline written to w.
+// RunWithTimeline is Run with a per-second CSV timeline written to w. The
+// timeline writer makes the run unkeyable, so it executes directly rather
+// than through a sweep pool.
 func (s Setup) RunWithTimeline(systemID string, env Environment, w io.Writer) (metrics.Results, error) {
-	if systemID == SysIdeal {
-		return s.ideal(env), nil
-	}
-	return s.runWith(systemID, env, func(c *sim.Config) { c.Timeline = w })
+	return s.runContext(context.Background(), systemID, env, func(c *sim.Config) { c.Timeline = w })
 }
 
 // JitterStudy sweeps execution-latency jitter (the §8 variable-cost
 // extension) and contrasts Quetzal with and without its PID controller:
 // the controller exists to absorb exactly this kind of prediction error.
-func (s Setup) JitterStudy() (*report.Table, error) {
+func (sw *Sweep) JitterStudy(ctx context.Context) (*report.Table, error) {
+	jitters := []float64{0, 0.2, 0.4}
+	systems := []string{SysQuetzal, SysQuetzalNoPID}
+	key := func(j float64, id string) RunKey {
+		// Zero jitter is exactly the base run: shared with other figures.
+		return RunKey{System: id, Env: Crowded, Jitter: j}
+	}
+	var keys []RunKey
+	for _, j := range jitters {
+		for _, id := range systems {
+			keys = append(keys, key(j, id))
+		}
+	}
+	res, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Extension — variable execution costs (§8 future work, crowded)",
 		"jitter", "system", "discarded", "ibo", "reported", "highq")
-	for _, jitter := range []float64{0, 0.2, 0.4} {
-		for _, id := range []string{SysQuetzal, SysQuetzalNoPID} {
-			res, err := s.runWith(id, Crowded, func(c *sim.Config) {
-				c.TexeJitterOverride = jitter
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprintf("%.0f%%", jitter*100), id,
-				report.Pct(res.DiscardedFraction()),
-				report.Pct(res.IBOFraction()),
-				report.N(res.ReportedInteresting()),
-				report.Pct(res.HighQualityShare()))
+	for _, j := range jitters {
+		for _, id := range systems {
+			r := res[key(j, id)]
+			t.AddRow(fmt.Sprintf("%.0f%%", j*100), id,
+				report.Pct(r.DiscardedFraction()),
+				report.Pct(r.IBOFraction()),
+				report.N(r.ReportedInteresting()),
+				report.Pct(r.HighQualityShare()))
 		}
 	}
 	t.AddNote("the paper assumes consistent t_exe/P_exe and names variable costs as future work")
@@ -89,28 +64,37 @@ func (s Setup) JitterStudy() (*report.Table, error) {
 // substrate supports: JIT checkpointing (the paper's), periodic
 // checkpointing, and no checkpointing, on a store small enough that tasks
 // span charge cycles.
-func (s Setup) CheckpointStudy() (*report.Table, error) {
+func (sw *Sweep) CheckpointStudy(ctx context.Context) (*report.Table, error) {
+	policies := []sim.CheckpointPolicy{sim.JITCheckpoint, sim.PeriodicCheckpoint, sim.NoCheckpoint}
+	systems := []string{SysQuetzal, SysNoAdapt}
+	key := func(p sim.CheckpointPolicy, id string) RunKey {
+		return RunKey{System: id, Env: Crowded,
+			Checkpoint:         p,
+			CheckpointInterval: 0.25, // all tasks run < 1 s; checkpoint within them
+			StoreCapacitance:   0.06,
+		}
+	}
+	var keys []RunKey
+	for _, p := range policies {
+		for _, id := range systems {
+			keys = append(keys, key(p, id))
+		}
+	}
+	res, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Extension — checkpoint policy under intermittent power (crowded, 60 mF store)",
 		"policy", "system", "discarded", "jobs", "reported", "brownouts", "aborts")
-	policies := []sim.CheckpointPolicy{sim.JITCheckpoint, sim.PeriodicCheckpoint, sim.NoCheckpoint}
-	for _, policy := range policies {
-		for _, id := range []string{SysQuetzal, SysNoAdapt} {
-			res, err := s.runWith(id, Crowded, func(c *sim.Config) {
-				c.Checkpoint = policy
-				c.CheckpointInterval = 0.25 // all tasks run < 1 s; checkpoint within them
-				store := energy.DefaultConfig()
-				store.Capacitance = 0.06
-				c.Store = store
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(policy.String(), id,
-				report.Pct(res.DiscardedFraction()),
-				report.N(res.JobsCompleted),
-				report.N(res.ReportedInteresting()),
-				report.N(res.Brownouts),
-				report.N(res.JobAborts))
+	for _, p := range policies {
+		for _, id := range systems {
+			r := res[key(p, id)]
+			t.AddRow(p.String(), id,
+				report.Pct(r.DiscardedFraction()),
+				report.N(r.JobsCompleted),
+				report.N(r.ReportedInteresting()),
+				report.N(r.Brownouts),
+				report.N(r.JobAborts))
 		}
 	}
 	t.AddNote("JIT preserves progress exactly [61]; no-checkpoint restarts the running task each failure")
@@ -121,25 +105,35 @@ func (s Setup) CheckpointStudy() (*report.Table, error) {
 // seeds (traces and classifier draws) and reports the spread — evidence
 // that the single-seed figures are not a lucky draw. Runs on the
 // event-driven engine: ten paper-scale repetitions cost seconds.
-func (s Setup) SeedStudy() (*report.Table, error) {
+func (sw *Sweep) SeedStudy(ctx context.Context) (*report.Table, error) {
+	const n = 10
+	systems := []string{SysNoAdapt, SysAlwaysDeg, SysQuetzal}
+	key := func(id string, k int) RunKey {
+		return RunKey{System: id, Env: Crowded,
+			Seed:   sw.Setup.Seed + int64(k)*101,
+			Engine: sim.EventDriven,
+		}
+	}
+	var keys []RunKey
+	for _, id := range systems {
+		for k := 0; k < n; k++ {
+			keys = append(keys, key(id, k))
+		}
+	}
+	res, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Extension — seed robustness (crowded, 10 seeds, event-driven engine)",
 		"system", "discarded mean", "min", "max", "ibo mean")
-	setup := s
-	setup.Engine = sim.EventDriven
-	systems := []string{SysNoAdapt, SysAlwaysDeg, SysQuetzal}
-	type agg struct{ sum, min, max, ibo float64 }
 	for _, id := range systems {
+		type agg struct{ sum, min, max, ibo float64 }
 		a := agg{min: 1}
-		const n = 10
 		for k := 0; k < n; k++ {
-			setup.Seed = s.Seed + int64(k)*101
-			res, err := setup.Run(id, Crowded)
-			if err != nil {
-				return nil, err
-			}
-			d := res.DiscardedFraction()
+			r := res[key(id, k)]
+			d := r.DiscardedFraction()
 			a.sum += d
-			a.ibo += res.IBOFraction()
+			a.ibo += r.IBOFraction()
 			if d < a.min {
 				a.min = d
 			}
@@ -161,21 +155,31 @@ func (s Setup) SeedStudy() (*report.Table, error) {
 // the paper fixes 10 slots (Table 1); this shows how much memory each
 // system needs to reach a given loss rate — Quetzal's IBO avoidance is
 // also a memory-provisioning win.
-func (s Setup) BufferStudy() (*report.Table, error) {
+func (sw *Sweep) BufferStudy(ctx context.Context) (*report.Table, error) {
+	capacities := []int{2, 4, 6, 10, 16, 32}
+	systems := []string{SysNoAdapt, SysQuetzal}
+	key := func(capacity int, id string) RunKey {
+		return RunKey{System: id, Env: Crowded, BufferCapacity: capacity}
+	}
+	var keys []RunKey
+	for _, c := range capacities {
+		for _, id := range systems {
+			keys = append(keys, key(c, id))
+		}
+	}
+	res, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Extension — input buffer capacity sweep (crowded)",
 		"capacity", "system", "discarded", "ibo", "reported")
-	for _, capacity := range []int{2, 4, 6, 10, 16, 32} {
-		for _, id := range []string{SysNoAdapt, SysQuetzal} {
-			res, err := s.runWith(id, Crowded, func(c *sim.Config) {
-				c.BufferCapacity = capacity
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprintf("%d", capacity), id,
-				report.Pct(res.DiscardedFraction()),
-				report.Pct(res.IBOFraction()),
-				report.N(res.ReportedInteresting()))
+	for _, c := range capacities {
+		for _, id := range systems {
+			r := res[key(c, id)]
+			t.AddRow(fmt.Sprintf("%d", c), id,
+				report.Pct(r.DiscardedFraction()),
+				report.Pct(r.IBOFraction()),
+				report.N(r.ReportedInteresting()))
 		}
 	}
 	t.AddNote("Table 1 fixes capacity at 10 images; memory is the scarcest resource on these devices")
@@ -186,23 +190,29 @@ func (s Setup) BufferStudy() (*report.Table, error) {
 // (Apollo4MultiQuality) and reports how often each quality level actually
 // executed per environment — the §4.2 "highest-quality option that avoids
 // the IBO" rule made visible.
-func (s Setup) LadderStudy() (*report.Table, error) {
+func (sw *Sweep) LadderStudy(ctx context.Context) (*report.Table, error) {
+	key := func(env Environment) RunKey {
+		return RunKey{System: SysQuetzal, Env: env, Profile: ProfileApollo4MultiQ}
+	}
+	keys := make([]RunKey, len(Environments))
+	for i, env := range Environments {
+		keys[i] = key(env)
+	}
+	res, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Extension — four-level degradation ladder (Apollo 4 multi-quality)",
 		"environment", "discarded", "opt0", "opt1", "opt2", "opt3", "highq")
-	setup := s
-	setup.Profile = device.Apollo4MultiQuality()
 	for _, env := range Environments {
-		res, err := setup.Run(SysQuetzal, env)
-		if err != nil {
-			return nil, err
-		}
+		r := res[key(env)]
 		t.AddRow(env.Name,
-			report.Pct(res.DiscardedFraction()),
-			report.N(res.OptionUsage[0]),
-			report.N(res.OptionUsage[1]),
-			report.N(res.OptionUsage[2]),
-			report.N(res.OptionUsage[3]),
-			report.Pct(res.HighQualityShare()))
+			report.Pct(r.DiscardedFraction()),
+			report.N(r.OptionUsage[0]),
+			report.N(r.OptionUsage[1]),
+			report.N(r.OptionUsage[2]),
+			report.N(r.OptionUsage[3]),
+			report.Pct(r.HighQualityShare()))
 	}
 	t.AddNote("opt0 = highest quality; the engine steps down only as far as stability requires (§4.2)")
 	return t, nil
@@ -210,32 +220,74 @@ func (s Setup) LadderStudy() (*report.Table, error) {
 
 // MCUStudy runs Quetzal vs NoAdapt on all three device profiles — the two
 // from Table 1 plus the STM32G071 — each in its matched environment.
-func (s Setup) MCUStudy() (*report.Table, error) {
-	t := report.New("Extension — microcontroller versatility (QZ vs NA per platform)",
-		"mcu", "system", "discarded", "ibo", "reported", "highq")
+func (sw *Sweep) MCUStudy(ctx context.Context) (*report.Table, error) {
 	platforms := []struct {
-		profile device.Profile
+		label   string
+		profile string
 		env     Environment
 	}{
-		{device.Apollo4(), Crowded},
-		{device.STM32G0(), Crowded},
-		{device.MSP430(), MSP430Env},
+		{"apollo4", ProfileApollo4, Crowded},
+		{"stm32g071", ProfileSTM32G0, Crowded},
+		{"msp430fr5994", ProfileMSP430, MSP430Env},
 	}
+	systems := []string{SysNoAdapt, SysQuetzal}
+	key := func(profile string, env Environment, id string) RunKey {
+		return RunKey{System: id, Env: env, Profile: profile}
+	}
+	var keys []RunKey
 	for _, p := range platforms {
-		setup := s
-		setup.Profile = p.profile
-		for _, id := range []string{SysNoAdapt, SysQuetzal} {
-			res, err := setup.Run(id, p.env)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(p.profile.MCU.Name, id,
-				report.Pct(res.DiscardedFraction()),
-				report.Pct(res.IBOFraction()),
-				report.N(res.ReportedInteresting()),
-				report.Pct(res.HighQualityShare()))
+		for _, id := range systems {
+			keys = append(keys, key(p.profile, p.env, id))
+		}
+	}
+	res, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Extension — microcontroller versatility (QZ vs NA per platform)",
+		"mcu", "system", "discarded", "ibo", "reported", "highq")
+	for _, p := range platforms {
+		for _, id := range systems {
+			r := res[key(p.profile, p.env, id)]
+			t.AddRow(p.label, id,
+				report.Pct(r.DiscardedFraction()),
+				report.Pct(r.IBOFraction()),
+				report.N(r.ReportedInteresting()),
+				report.Pct(r.HighQualityShare()))
 		}
 	}
 	t.AddNote("the STM32G071 is not in the paper's Table 1; included as a third divider-less target")
 	return t, nil
+}
+
+// Serial-API wrappers, mirroring the Fig* wrappers in figures.go.
+
+// JitterStudy sweeps execution-latency jitter (see Sweep.JitterStudy).
+func (s Setup) JitterStudy() (*report.Table, error) {
+	return NewSweep(s).JitterStudy(context.Background())
+}
+
+// CheckpointStudy contrasts checkpoint policies (see Sweep.CheckpointStudy).
+func (s Setup) CheckpointStudy() (*report.Table, error) {
+	return NewSweep(s).CheckpointStudy(context.Background())
+}
+
+// SeedStudy reports the cross-seed spread (see Sweep.SeedStudy).
+func (s Setup) SeedStudy() (*report.Table, error) {
+	return NewSweep(s).SeedStudy(context.Background())
+}
+
+// BufferStudy sweeps the input-buffer capacity (see Sweep.BufferStudy).
+func (s Setup) BufferStudy() (*report.Table, error) {
+	return NewSweep(s).BufferStudy(context.Background())
+}
+
+// LadderStudy runs the four-level degradation ladder (see Sweep.LadderStudy).
+func (s Setup) LadderStudy() (*report.Table, error) {
+	return NewSweep(s).LadderStudy(context.Background())
+}
+
+// MCUStudy runs all three device profiles (see Sweep.MCUStudy).
+func (s Setup) MCUStudy() (*report.Table, error) {
+	return NewSweep(s).MCUStudy(context.Background())
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"quetzal/internal/circuit"
@@ -8,6 +9,14 @@ import (
 	"quetzal/internal/metrics"
 	"quetzal/internal/report"
 )
+
+// Each figure below is a declarative run plan: it enumerates the RunKeys
+// it needs, resolves them through the sweep's shared memoizing pool, and
+// renders its table from the results map. Runs shared between figures
+// (most base system/environment pairs) are simulated once per sweep.
+//
+// The Setup.Fig* wrappers preserve the original serial API: each builds a
+// throwaway sweep and runs the plan on it.
 
 // runAll executes a list of systems in one environment.
 func (s Setup) runAll(systems []string, env Environment) (map[string]metrics.Results, error) {
@@ -27,18 +36,11 @@ func discardRow(t *report.Table, env string, r metrics.Results) {
 	t.AddRow(env, r.System,
 		report.Pct(r.DiscardedFraction()),
 		report.Pct(r.IBOFraction()),
-		report.Pct(float64(r.FalseNegatives)/nz(r.InterestingArrivals)),
+		report.PctOf(float64(r.FalseNegatives), float64(r.InterestingArrivals)),
 		report.N(r.ReportedInteresting()),
 		report.Pct(r.HighQualityShare()),
 		report.N(r.Degradations),
 	)
-}
-
-func nz(v int) float64 {
-	if v == 0 {
-		return 1
-	}
-	return float64(v)
 }
 
 func ratio(worse, better float64) float64 {
@@ -48,34 +50,42 @@ func ratio(worse, better float64) float64 {
 	return worse / better
 }
 
+// gain renders the relative change of got vs base ("+74%"), or "n/a" when
+// the base count is zero and the change is unknowable.
+func gain(got, base int) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", 100*(float64(got)/float64(base)-1))
+}
+
 var discardColumns = []string{"environment", "system", "discarded", "ibo", "falseneg", "reported", "highq", "degraded"}
 
 // Fig2b reproduces the capture-rate degradation study: a NoAdapt system
 // with capture periods from 1 to 10 s still misses a large fraction of
 // interesting data — now because it never captures it.
-func (s Setup) Fig2b() (*report.Table, error) {
+func (sw *Sweep) Fig2b(ctx context.Context) (*report.Table, error) {
+	periods := []float64{1, 2, 3, 5, 10}
+	keys := make([]RunKey, len(periods))
+	for i, p := range periods {
+		keys[i] = RunKey{System: SysNoAdapt, Env: Crowded, CapturePeriod: p}
+	}
+	res, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Fig 2b — reducing capture rate still misses events (NoAdapt, crowded)",
 		"capture period (s)", "interesting seen", "coverage vs 1s", "discarded (of seen)", "total missed")
-	base := 0
-	for _, period := range []float64{1, 2, 3, 5, 10} {
-		setup := s
-		setup.CapturePeriod = period
-		res, err := setup.Run(SysNoAdapt, Crowded)
-		if err != nil {
-			return nil, err
-		}
-		if period == 1 {
-			base = res.InterestingArrivals
-		}
-		coverage := float64(res.InterestingArrivals) / nz(base)
+	base := res[keys[0]].InterestingArrivals
+	for i, period := range periods {
+		r := res[keys[i]]
 		// Total missed = the frames a 1 FPS system would have seen but this
 		// one either never captured or discarded.
-		missed := float64(base-res.ReportedInteresting()) / nz(base)
 		t.AddRow(fmt.Sprintf("%g", period),
-			report.N(res.InterestingArrivals),
-			report.Pct(coverage),
-			report.Pct(res.DiscardedFraction()),
-			report.Pct(missed))
+			report.N(r.InterestingArrivals),
+			report.PctOf(float64(r.InterestingArrivals), float64(base)),
+			report.Pct(r.DiscardedFraction()),
+			report.PctOf(float64(base-r.ReportedInteresting()), float64(base)))
 	}
 	t.AddNote("paper: with less frequent captures the device fails to even capture a large fraction of interesting data")
 	return t, nil
@@ -83,17 +93,18 @@ func (s Setup) Fig2b() (*report.Table, error) {
 
 // Fig3 reproduces the naive-solutions motivation: Ideal, NoAdapt, Always-
 // Degrade, CatNap and PZO against Quetzal in the crowded environment.
-func (s Setup) Fig3() (*report.Table, error) {
+func (sw *Sweep) Fig3(ctx context.Context) (*report.Table, error) {
 	systems := []string{SysIdeal, SysNoAdapt, SysAlwaysDeg, SysCatNap, SysPZO, SysQuetzal}
-	res, err := s.runAll(systems, Crowded)
+	res, err := sw.Results(ctx, baseKeys(systems, Crowded))
 	if err != nil {
 		return nil, err
 	}
+	at := func(id string) metrics.Results { return res[RunKey{System: id, Env: Crowded}] }
 	t := report.New("Fig 3 — naive solutions are ineffective (crowded)", discardColumns...)
 	for _, id := range systems {
-		discardRow(t, Crowded.Name, res[id])
+		discardRow(t, Crowded.Name, at(id))
 	}
-	na, qz := res[SysNoAdapt], res[SysQuetzal]
+	na, qz := at(SysNoAdapt), at(SysQuetzal)
 	t.AddNote("Quetzal discards %s fewer interesting inputs than NoAdapt (paper: up to 4.2x across envs)",
 		report.X(ratio(na.DiscardedFraction(), qz.DiscardedFraction())))
 	return t, nil
@@ -102,63 +113,74 @@ func (s Setup) Fig3() (*report.Table, error) {
 // Fig8 reproduces the end-to-end "hardware" experiment: Quetzal vs NoAdapt
 // with 100 events in two sensing environments (paper: 6.4x and 5x fewer
 // discards; 74% and 27% more interesting reports).
-func (s Setup) Fig8() (*report.Table, error) {
-	setup := s
-	setup.NumEvents = 100
-	t := report.New("Fig 8 — end-to-end experiment, Quetzal vs NoAdapt (100 events)", discardColumns...)
-	for _, env := range []Environment{MoreCrowded, Crowded} {
-		res, err := setup.runAll([]string{SysNoAdapt, SysQuetzal}, env)
-		if err != nil {
-			return nil, err
+func (sw *Sweep) Fig8(ctx context.Context) (*report.Table, error) {
+	envs := []Environment{MoreCrowded, Crowded}
+	systems := []string{SysNoAdapt, SysQuetzal}
+	key := func(id string, env Environment) RunKey {
+		return RunKey{System: id, Env: env, NumEvents: 100}
+	}
+	var keys []RunKey
+	for _, env := range envs {
+		for _, id := range systems {
+			keys = append(keys, key(id, env))
 		}
-		discardRow(t, env.Name, res[SysNoAdapt])
-		discardRow(t, env.Name, res[SysQuetzal])
-		na, qz := res[SysNoAdapt], res[SysQuetzal]
-		t.AddNote("%s: QZ discards %s fewer; reports %+.0f%% more interesting inputs",
+	}
+	res, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Fig 8 — end-to-end experiment, Quetzal vs NoAdapt (100 events)", discardColumns...)
+	for _, env := range envs {
+		na, qz := res[key(SysNoAdapt, env)], res[key(SysQuetzal, env)]
+		discardRow(t, env.Name, na)
+		discardRow(t, env.Name, qz)
+		t.AddNote("%s: QZ discards %s fewer; reports %s more interesting inputs",
 			env.Name,
 			report.X(ratio(na.DiscardedFraction(), qz.DiscardedFraction())),
-			100*(float64(qz.ReportedInteresting())/nz(na.ReportedInteresting())-1))
+			gain(qz.ReportedInteresting(), na.ReportedInteresting()))
 	}
 	return t, nil
 }
 
 // Fig9 reproduces the headline comparison: Quetzal vs NoAdapt, AlwaysDegrade
 // and the infinite-buffer Ideal across the three sensing environments.
-func (s Setup) Fig9() (*report.Table, error) {
+func (sw *Sweep) Fig9(ctx context.Context) (*report.Table, error) {
 	systems := []string{SysIdeal, SysNoAdapt, SysAlwaysDeg, SysQuetzal}
+	res, err := sw.Results(ctx, baseKeys(systems, Environments...))
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Fig 9 — Quetzal vs NoAdapt / AlwaysDegrade / Ideal", discardColumns...)
 	for _, env := range Environments {
-		res, err := s.runAll(systems, env)
-		if err != nil {
-			return nil, err
-		}
+		at := func(id string) metrics.Results { return res[RunKey{System: id, Env: env}] }
 		for _, id := range systems {
-			discardRow(t, env.Name, res[id])
+			discardRow(t, env.Name, at(id))
 		}
-		na, ad, qz, ideal := res[SysNoAdapt], res[SysAlwaysDeg], res[SysQuetzal], res[SysIdeal]
+		na, ad, qz, ideal := at(SysNoAdapt), at(SysAlwaysDeg), at(SysQuetzal), at(SysIdeal)
 		t.AddNote("%s: QZ vs NA %s fewer discards (paper 2.9–4.2x); vs AD %s (paper 2.2–4.2x); reports %s of ideal (paper 92–98%%)",
 			env.Name,
 			report.X(ratio(na.DiscardedFraction(), qz.DiscardedFraction())),
 			report.X(ratio(ad.DiscardedFraction(), qz.DiscardedFraction())),
-			report.Pct(float64(qz.ReportedInteresting())/nz(ideal.ReportedInteresting())))
+			report.PctOf(float64(qz.ReportedInteresting()), float64(ideal.ReportedInteresting())))
 	}
 	return t, nil
 }
 
 // Fig10 reproduces the prior-work comparison: CatNap, PZO and the
 // unimplementable PZI oracle vs Quetzal.
-func (s Setup) Fig10() (*report.Table, error) {
+func (sw *Sweep) Fig10(ctx context.Context) (*report.Table, error) {
 	systems := []string{SysCatNap, SysPZO, SysPZI, SysQuetzal}
+	res, err := sw.Results(ctx, baseKeys(systems, Environments...))
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Fig 10 — Quetzal vs prior work (CatNap, Protean/Zygarde)", discardColumns...)
 	for _, env := range Environments {
-		res, err := s.runAll(systems, env)
-		if err != nil {
-			return nil, err
-		}
+		at := func(id string) metrics.Results { return res[RunKey{System: id, Env: env}] }
 		for _, id := range systems {
-			discardRow(t, env.Name, res[id])
+			discardRow(t, env.Name, at(id))
 		}
-		cn, pzi, qz := res[SysCatNap], res[SysPZI], res[SysQuetzal]
+		cn, pzi, qz := at(SysCatNap), at(SysPZI), at(SysQuetzal)
 		t.AddNote("%s: QZ vs CatNap %s fewer discards (paper 2.2–4.3x); vs PZI %s (paper 1.9–3.1x)",
 			env.Name,
 			report.X(ratio(cn.DiscardedFraction(), qz.DiscardedFraction())),
@@ -168,21 +190,22 @@ func (s Setup) Fig10() (*report.Table, error) {
 }
 
 // Fig11 reproduces the fixed-buffer-threshold comparison at 25/50/75 %.
-func (s Setup) Fig11() (*report.Table, error) {
+func (sw *Sweep) Fig11(ctx context.Context) (*report.Table, error) {
 	systems := []string{FixedThresholdID(0.25), FixedThresholdID(0.50), FixedThresholdID(0.75), SysQuetzal}
+	res, err := sw.Results(ctx, baseKeys(systems, Environments...))
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Fig 11a/b — Quetzal vs fixed buffer thresholds", discardColumns...)
 	for _, env := range Environments {
-		res, err := s.runAll(systems, env)
-		if err != nil {
-			return nil, err
-		}
+		at := func(id string) metrics.Results { return res[RunKey{System: id, Env: env}] }
 		for _, id := range systems {
-			discardRow(t, env.Name, res[id])
+			discardRow(t, env.Name, at(id))
 		}
-		qz := res[SysQuetzal]
+		qz := at(SysQuetzal)
 		gm := 1.0
 		for _, id := range systems[:3] {
-			gm *= ratio(res[id].DiscardedFraction(), qz.DiscardedFraction())
+			gm *= ratio(at(id).DiscardedFraction(), qz.DiscardedFraction())
 		}
 		gm = cbrt(gm)
 		t.AddNote("%s: QZ discards %s fewer than the fixed thresholds (geomean; paper 1.15–2.2x)",
@@ -204,53 +227,55 @@ func cbrt(v float64) float64 {
 
 // Fig11c sweeps the fixed threshold across its whole range in the crowded
 // environment; Quetzal must win at every point.
-func (s Setup) Fig11c() (*report.Table, error) {
-	t := report.New("Fig 11c — full threshold sweep (crowded)",
-		"threshold", "discarded", "ibo", "falseneg", "highq-share")
-	for _, pct := range []int{10, 25, 40, 50, 60, 75, 90, 100} {
-		res, err := s.Run(fmt.Sprintf("fixed-%d", pct), Crowded)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d%%", pct),
-			report.Pct(res.DiscardedFraction()),
-			report.Pct(res.IBOFraction()),
-			report.Pct(float64(res.FalseNegatives)/nz(res.InterestingArrivals)),
-			report.Pct(res.HighQualityShare()))
+func (sw *Sweep) Fig11c(ctx context.Context) (*report.Table, error) {
+	pcts := []int{10, 25, 40, 50, 60, 75, 90, 100}
+	systems := make([]string, 0, len(pcts)+1)
+	for _, pct := range pcts {
+		systems = append(systems, fmt.Sprintf("fixed-%d", pct))
 	}
-	qz, err := s.Run(SysQuetzal, Crowded)
+	systems = append(systems, SysQuetzal)
+	res, err := sw.Results(ctx, baseKeys(systems, Crowded))
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("quetzal",
-		report.Pct(qz.DiscardedFraction()),
-		report.Pct(qz.IBOFraction()),
-		report.Pct(float64(qz.FalseNegatives)/nz(qz.InterestingArrivals)),
-		report.Pct(qz.HighQualityShare()))
+	t := report.New("Fig 11c — full threshold sweep (crowded)",
+		"threshold", "discarded", "ibo", "falseneg", "highq-share")
+	row := func(label string, r metrics.Results) {
+		t.AddRow(label,
+			report.Pct(r.DiscardedFraction()),
+			report.Pct(r.IBOFraction()),
+			report.PctOf(float64(r.FalseNegatives), float64(r.InterestingArrivals)),
+			report.Pct(r.HighQualityShare()))
+	}
+	for i, pct := range pcts {
+		row(fmt.Sprintf("%d%%", pct), res[RunKey{System: systems[i], Env: Crowded}])
+	}
+	row("quetzal", res[RunKey{System: SysQuetzal, Env: Crowded}])
 	t.AddNote("paper: Quetzal outperforms fixed-threshold systems no matter what threshold is used")
 	return t, nil
 }
 
 // Fig12 reproduces the scheduler sensitivity study: Quetzal's IBO engine
 // paired with Energy-aware SJF vs Avg-S_e2e, FCFS, LCFS and capture-order.
-func (s Setup) Fig12() (*report.Table, error) {
+func (sw *Sweep) Fig12(ctx context.Context) (*report.Table, error) {
 	systems := []string{SysQuetzal, SysQuetzalAvg, SysQuetzalFCFS, SysQuetzalLCFS, SysQuetzalCapt}
+	res, err := sw.Results(ctx, baseKeys(systems, Environments...))
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("Fig 12 — scheduling policy sensitivity (all with IBO engine)", discardColumns...)
 	for _, env := range Environments {
-		res, err := s.runAll(systems, env)
-		if err != nil {
-			return nil, err
-		}
+		at := func(id string) metrics.Results { return res[RunKey{System: id, Env: env}] }
 		for _, id := range systems {
-			discardRow(t, env.Name, res[id])
+			discardRow(t, env.Name, at(id))
 		}
-		qz := res[SysQuetzal]
+		qz := at(SysQuetzal)
 		t.AddNote("%s: energy-aware SJF vs Avg-Se2e %s (paper 2.2–4.2x), vs FCFS %s (1.8–3x), vs LCFS %s (1.5–2.7x), vs capture-order %s (1.4–2.6x)",
 			env.Name,
-			report.X(ratio(res[SysQuetzalAvg].DiscardedFraction(), qz.DiscardedFraction())),
-			report.X(ratio(res[SysQuetzalFCFS].DiscardedFraction(), qz.DiscardedFraction())),
-			report.X(ratio(res[SysQuetzalLCFS].DiscardedFraction(), qz.DiscardedFraction())),
-			report.X(ratio(res[SysQuetzalCapt].DiscardedFraction(), qz.DiscardedFraction())))
+			report.X(ratio(at(SysQuetzalAvg).DiscardedFraction(), qz.DiscardedFraction())),
+			report.X(ratio(at(SysQuetzalFCFS).DiscardedFraction(), qz.DiscardedFraction())),
+			report.X(ratio(at(SysQuetzalLCFS).DiscardedFraction(), qz.DiscardedFraction())),
+			report.X(ratio(at(SysQuetzalCapt).DiscardedFraction(), qz.DiscardedFraction())))
 	}
 	return t, nil
 }
@@ -258,19 +283,24 @@ func (s Setup) Fig12() (*report.Table, error) {
 // Fig13 reproduces the MSP430 versatility study: Quetzal and all baselines
 // on the MSP430FR5994 profile (Int-16 vs Int-8 LeNet) in the crowded
 // environment.
-func (s Setup) Fig13() (*report.Table, error) {
-	setup := s
-	setup.Profile = device.MSP430()
+func (sw *Sweep) Fig13(ctx context.Context) (*report.Table, error) {
 	systems := []string{SysNoAdapt, SysAlwaysDeg, SysCatNap, FixedThresholdID(0.75), SysPZO, SysPZI, SysQuetzal}
-	res, err := setup.runAll(systems, MSP430Env)
+	key := func(id string) RunKey {
+		return RunKey{System: id, Env: MSP430Env, Profile: ProfileMSP430}
+	}
+	keys := make([]RunKey, len(systems))
+	for i, id := range systems {
+		keys[i] = key(id)
+	}
+	res, err := sw.Results(ctx, keys)
 	if err != nil {
 		return nil, err
 	}
 	t := report.New("Fig 13 — MSP430FR5994 versatility (10 s events, Table 1)", discardColumns...)
 	for _, id := range systems {
-		discardRow(t, MSP430Env.Name, res[id])
+		discardRow(t, MSP430Env.Name, res[key(id)])
 	}
-	na, qz := res[SysNoAdapt], res[SysQuetzal]
+	na, qz := res[key(SysNoAdapt)], res[key(SysQuetzal)]
 	t.AddNote("QZ vs NA: %s fewer discards (paper 2.8x on MSP430)",
 		report.X(ratio(na.DiscardedFraction(), qz.DiscardedFraction())))
 	return t, nil
@@ -278,65 +308,91 @@ func (s Setup) Fig13() (*report.Table, error) {
 
 // Fig14 reproduces the parameter sensitivity sweeps in the more-crowded
 // environment: harvester cell count, arrival window and task window.
-func (s Setup) Fig14() ([]*report.Table, error) {
+func (sw *Sweep) Fig14(ctx context.Context) ([]*report.Table, error) {
 	env := MoreCrowded
-	var tables []*report.Table
 
-	cells := report.New("Fig 14a — harvester cell count (more-crowded)",
-		"cells", "discarded", "ibo", "reported", "highq-share")
-	for _, n := range []int{2, 4, 6, 8, 10} {
-		setup := s
-		setup.Cells = n
-		res, err := setup.Run(SysQuetzal, env)
+	sweepTable := func(title, col string, values []int, key func(int) RunKey) (*report.Table, error) {
+		keys := make([]RunKey, len(values))
+		for i, v := range values {
+			keys[i] = key(v)
+		}
+		res, err := sw.Results(ctx, keys)
 		if err != nil {
 			return nil, err
 		}
-		cells.AddRow(report.N(n),
-			report.Pct(res.DiscardedFraction()),
-			report.Pct(res.IBOFraction()),
-			report.N(res.ReportedInteresting()),
-			report.Pct(res.HighQualityShare()))
+		t := report.New(title, col, "discarded", "ibo", "reported", "highq-share")
+		for i, v := range values {
+			r := res[keys[i]]
+			t.AddRow(report.N(v),
+				report.Pct(r.DiscardedFraction()),
+				report.Pct(r.IBOFraction()),
+				report.N(r.ReportedInteresting()),
+				report.Pct(r.HighQualityShare()))
+		}
+		return t, nil
+	}
+
+	cells, err := sweepTable("Fig 14a — harvester cell count (more-crowded)", "cells",
+		[]int{2, 4, 6, 8, 10}, func(n int) RunKey {
+			return RunKey{System: SysQuetzal, Env: env, Cells: n}
+		})
+	if err != nil {
+		return nil, err
 	}
 	cells.AddNote("vertical line in the paper: 6 cells (primary experiments)")
-	tables = append(tables, cells)
 
-	aw := report.New("Fig 14b — <arrival-window> (more-crowded)",
-		"arrival-window", "discarded", "ibo", "reported", "highq-share")
-	for _, w := range []int{32, 64, 128, 256, 512} {
-		setup := s
-		setup.ArrivalWindow = w
-		res, err := setup.Run(SysQuetzal, env)
-		if err != nil {
-			return nil, err
-		}
-		aw.AddRow(report.N(w),
-			report.Pct(res.DiscardedFraction()),
-			report.Pct(res.IBOFraction()),
-			report.N(res.ReportedInteresting()),
-			report.Pct(res.HighQualityShare()))
+	aw, err := sweepTable("Fig 14b — <arrival-window> (more-crowded)", "arrival-window",
+		[]int{32, 64, 128, 256, 512}, func(w int) RunKey {
+			return RunKey{System: SysQuetzal, Env: env, ArrivalWindow: w}
+		})
+	if err != nil {
+		return nil, err
 	}
 	aw.AddNote("paper default: 256")
-	tables = append(tables, aw)
 
-	tw := report.New("Fig 14c — <task-window> (more-crowded)",
-		"task-window", "discarded", "ibo", "reported", "highq-share")
-	for _, w := range []int{16, 32, 64, 128} {
-		setup := s
-		setup.TaskWindow = w
-		res, err := setup.Run(SysQuetzal, env)
-		if err != nil {
-			return nil, err
-		}
-		tw.AddRow(report.N(w),
-			report.Pct(res.DiscardedFraction()),
-			report.Pct(res.IBOFraction()),
-			report.N(res.ReportedInteresting()),
-			report.Pct(res.HighQualityShare()))
+	tw, err := sweepTable("Fig 14c — <task-window> (more-crowded)", "task-window",
+		[]int{16, 32, 64, 128}, func(w int) RunKey {
+			return RunKey{System: SysQuetzal, Env: env, TaskWindow: w}
+		})
+	if err != nil {
+		return nil, err
 	}
 	tw.AddNote("paper default: 64")
-	tables = append(tables, tw)
-	return tables, nil
+
+	return []*report.Table{cells, aw, tw}, nil
 }
+
+// Serial-API wrappers: each runs the figure's plan on a throwaway sweep.
+
+// Fig2b reproduces the capture-rate degradation study (see Sweep.Fig2b).
+func (s Setup) Fig2b() (*report.Table, error) { return NewSweep(s).Fig2b(context.Background()) }
+
+// Fig3 reproduces the naive-solutions motivation (see Sweep.Fig3).
+func (s Setup) Fig3() (*report.Table, error) { return NewSweep(s).Fig3(context.Background()) }
+
+// Fig8 reproduces the end-to-end experiment (see Sweep.Fig8).
+func (s Setup) Fig8() (*report.Table, error) { return NewSweep(s).Fig8(context.Background()) }
+
+// Fig9 reproduces the headline comparison (see Sweep.Fig9).
+func (s Setup) Fig9() (*report.Table, error) { return NewSweep(s).Fig9(context.Background()) }
+
+// Fig10 reproduces the prior-work comparison (see Sweep.Fig10).
+func (s Setup) Fig10() (*report.Table, error) { return NewSweep(s).Fig10(context.Background()) }
+
+// Fig11 reproduces the fixed-threshold comparison (see Sweep.Fig11).
+func (s Setup) Fig11() (*report.Table, error) { return NewSweep(s).Fig11(context.Background()) }
+
+// Fig11c sweeps the fixed threshold across its range (see Sweep.Fig11c).
+func (s Setup) Fig11c() (*report.Table, error) { return NewSweep(s).Fig11c(context.Background()) }
+
+// Fig12 reproduces the scheduler sensitivity study (see Sweep.Fig12).
+func (s Setup) Fig12() (*report.Table, error) { return NewSweep(s).Fig12(context.Background()) }
+
+// Fig13 reproduces the MSP430 versatility study (see Sweep.Fig13).
+func (s Setup) Fig13() (*report.Table, error) { return NewSweep(s).Fig13(context.Background()) }
+
+// Fig14 reproduces the parameter sensitivity sweeps (see Sweep.Fig14).
+func (s Setup) Fig14() ([]*report.Table, error) { return NewSweep(s).Fig14(context.Background()) }
 
 // CircuitStudy reproduces the §5.1 hardware-module characterisation: the
 // P_exe/P_in approximation error across temperature and the per-ratio

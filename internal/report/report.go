@@ -131,6 +131,16 @@ func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
 // Pct formats a fraction as a percentage with one decimal.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 
+// PctOf formats num/den as a percentage, or "n/a" when the denominator is
+// zero: a zero-denominator cell is unknowable, and rendering it as "0.0%"
+// would misread as a measured zero.
+func PctOf(num, den float64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return Pct(num / den)
+}
+
 // N formats an integer.
 func N(v int) string { return fmt.Sprintf("%d", v) }
 

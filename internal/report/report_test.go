@@ -78,6 +78,20 @@ func TestFormatters(t *testing.T) {
 	}
 }
 
+// A zero denominator must render as "n/a": the old harness mapped it to a
+// denominator of 1, which showed an unknowable cell as a measured "0.0%".
+func TestPctOfZeroDenominator(t *testing.T) {
+	if got := PctOf(3, 0); got != "n/a" {
+		t.Errorf("PctOf(3, 0) = %q, want n/a", got)
+	}
+	if got := PctOf(0, 0); got != "n/a" {
+		t.Errorf("PctOf(0, 0) = %q, want n/a", got)
+	}
+	if got := PctOf(1, 4); got != "25.0%" {
+		t.Errorf("PctOf(1, 4) = %q, want 25.0%%", got)
+	}
+}
+
 func TestRenderMarkdown(t *testing.T) {
 	tb := New("Title", "a", "b")
 	tb.AddRow("1", "2")

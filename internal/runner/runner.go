@@ -1,0 +1,246 @@
+// Package runner is the concurrency substrate for experiment sweeps: a
+// key-addressed, single-flight, memoizing worker-pool executor. Callers
+// submit comparable keys; the pool executes the run function at most once
+// per key on a bounded set of workers, joins concurrent requests for the
+// same key onto the in-flight execution, and serves later requests from
+// the memo. A Ledger summarizes executed runs vs cache hits and wall time,
+// so sweeps can report how much work de-duplication saved.
+//
+// The pool adds no ordering of its own: with a deterministic run function
+// (all simulator RNG is seeded per run), results are identical at any
+// worker count, and Collect returns them in key order regardless of
+// completion order.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Func computes the value for one key. It must be safe for concurrent use
+// and should honor ctx cancellation for long runs.
+type Func[K comparable, V any] func(ctx context.Context, key K) (V, error)
+
+// Event describes one resolved Do call, for progress reporting.
+type Event[K comparable] struct {
+	Key      K
+	Cached   bool          // served from the memo or joined an in-flight run
+	Err      error         // the run's (wrapped) error, if any
+	Duration time.Duration // execution wall time; 0 for cache hits
+	// Ledger counters after this event, for "N done" style progress lines.
+	Executed  int
+	CacheHits int
+}
+
+// Config tunes a Pool.
+type Config[K comparable] struct {
+	// Workers bounds concurrent executions; 0 → runtime.NumCPU().
+	Workers int
+	// RunTimeout bounds each individual execution; 0 → no per-run limit.
+	RunTimeout time.Duration
+	// OnEvent, when set, is called after every resolved Do. Calls are
+	// serialized, so the callback may write to a shared sink unguarded.
+	OnEvent func(Event[K])
+}
+
+// Ledger summarizes the work a pool has done.
+type Ledger struct {
+	Executed  int           // runs actually executed
+	CacheHits int           // requests served without executing
+	Errors    int           // executions that returned an error
+	RunTime   time.Duration // summed execution wall time across workers
+	Elapsed   time.Duration // first submission to latest completion
+}
+
+// String renders the ledger as a one-line summary.
+func (l Ledger) String() string {
+	return fmt.Sprintf("%d runs, %d cache hits, %d errors, %v wall (%v cpu)",
+		l.Executed, l.CacheHits, l.Errors,
+		l.Elapsed.Round(time.Millisecond), l.RunTime.Round(time.Millisecond))
+}
+
+// Pool executes runs at most once per key. Construct with New; all methods
+// are safe for concurrent use.
+type Pool[K comparable, V any] struct {
+	fn   Func[K, V]
+	cfg  Config[K]
+	sem  chan struct{}
+	evMu sync.Mutex // serializes OnEvent callbacks
+
+	mu     sync.Mutex
+	calls  map[K]*call[V]
+	ledger Ledger
+	first  time.Time // first submission
+	last   time.Time // latest completion
+}
+
+// call is one single-flight execution slot; val/err are written exactly
+// once before done is closed.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New builds a pool around fn.
+func New[K comparable, V any](fn Func[K, V], cfg Config[K]) *Pool[K, V] {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	return &Pool[K, V]{
+		fn:    fn,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		calls: make(map[K]*call[V]),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool[K, V]) Workers() int { return p.cfg.Workers }
+
+// Do returns the value for key, executing fn at most once per key: the
+// first caller runs it on a worker slot, concurrent callers for the same
+// key join the in-flight execution, and later callers get the memoized
+// result (errors included — a failed run is not retried). Cancellation is
+// the exception: a run that dies of its caller's context is forgotten, so
+// a later Do with a live context executes it afresh.
+func (p *Pool[K, V]) Do(ctx context.Context, key K) (V, error) {
+	var zero V
+	p.mu.Lock()
+	if p.first.IsZero() {
+		p.first = time.Now()
+	}
+	if c, ok := p.calls[key]; ok {
+		p.mu.Unlock()
+		select {
+		case <-c.done:
+			p.noteHit(Event[K]{Key: key, Cached: true, Err: c.err})
+			return c.val, c.err
+		case <-ctx.Done():
+			return zero, fmt.Errorf("runner: %v: %w", key, context.Cause(ctx))
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	p.calls[key] = c
+	p.mu.Unlock()
+
+	// Acquire a worker slot (bounded concurrency).
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		c.err = fmt.Errorf("runner: %v: %w", key, context.Cause(ctx))
+		p.abandon(key, c)
+		return zero, c.err
+	}
+	defer func() { <-p.sem }()
+
+	runCtx := ctx
+	if p.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, p.cfg.RunTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	v, err := p.fn(runCtx, key)
+	took := time.Since(start)
+	if err != nil {
+		err = fmt.Errorf("runner: %v: %w", key, err)
+	}
+	if err != nil && ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The caller's own context died mid-run: the failure is a property
+		// of this call, not of the key — don't poison the memo.
+		c.err = err
+		p.abandon(key, c)
+		return zero, err
+	}
+	c.val, c.err = v, err
+
+	p.mu.Lock()
+	p.ledger.Executed++
+	if err != nil {
+		p.ledger.Errors++
+	}
+	p.ledger.RunTime += took
+	p.last = time.Now()
+	ev := Event[K]{Key: key, Err: err, Duration: took,
+		Executed: p.ledger.Executed, CacheHits: p.ledger.CacheHits}
+	p.mu.Unlock()
+	close(c.done)
+	p.emit(ev)
+	return v, err
+}
+
+// Collect resolves all keys (submitted concurrently, bounded by Workers)
+// and returns their values in key order. When runs fail, the error of the
+// earliest failed key is returned, so the reported failure is
+// deterministic regardless of completion order.
+func (p *Pool[K, V]) Collect(ctx context.Context, keys []K) ([]V, error) {
+	vals := make([]V, len(keys))
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k K) {
+			defer wg.Done()
+			vals[i], errs[i] = p.Do(ctx, k)
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return vals, err
+		}
+	}
+	return vals, nil
+}
+
+// Ledger returns a snapshot of the pool's work summary.
+func (p *Pool[K, V]) Ledger() Ledger {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := p.ledger
+	switch {
+	case p.first.IsZero():
+	case p.last.Before(p.first):
+		l.Elapsed = time.Since(p.first)
+	default:
+		l.Elapsed = p.last.Sub(p.first)
+	}
+	return l
+}
+
+// noteHit records a cache hit and fires the progress callback.
+func (p *Pool[K, V]) noteHit(ev Event[K]) {
+	p.mu.Lock()
+	p.ledger.CacheHits++
+	p.last = time.Now()
+	ev.Executed = p.ledger.Executed
+	ev.CacheHits = p.ledger.CacheHits
+	p.mu.Unlock()
+	p.emit(ev)
+}
+
+// abandon unregisters a call that died of cancellation, releasing any
+// joined waiters with c.err (already set) and leaving the key free to be
+// re-executed by a later caller.
+func (p *Pool[K, V]) abandon(key K, c *call[V]) {
+	p.mu.Lock()
+	delete(p.calls, key)
+	p.mu.Unlock()
+	close(c.done)
+}
+
+// emit fires the progress callback, serialized.
+func (p *Pool[K, V]) emit(ev Event[K]) {
+	if p.cfg.OnEvent == nil {
+		return
+	}
+	p.evMu.Lock()
+	defer p.evMu.Unlock()
+	p.cfg.OnEvent(ev)
+}

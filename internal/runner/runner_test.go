@@ -1,0 +1,305 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMemoization: the second Do for a key must not re-execute.
+func TestMemoization(t *testing.T) {
+	var execs atomic.Int32
+	p := New(func(_ context.Context, k int) (int, error) {
+		execs.Add(1)
+		return k * 2, nil
+	}, Config[int]{Workers: 2})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		v, err := p.Do(ctx, 21)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if got := execs.Load(); got != 1 {
+		t.Errorf("executions = %d, want 1", got)
+	}
+	l := p.Ledger()
+	if l.Executed != 1 || l.CacheHits != 2 {
+		t.Errorf("ledger = %+v, want 1 executed / 2 hits", l)
+	}
+}
+
+// TestSingleFlight: concurrent Do calls for one key join a single
+// execution instead of duplicating it.
+func TestSingleFlight(t *testing.T) {
+	var execs atomic.Int32
+	release := make(chan struct{})
+	p := New(func(_ context.Context, k string) (string, error) {
+		execs.Add(1)
+		<-release
+		return "v:" + k, nil
+	}, Config[string]{Workers: 8})
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]string, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := p.Do(context.Background(), "k")
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the callers pile up on the in-flight run, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Errorf("executions = %d, want 1", got)
+	}
+	for i, v := range results {
+		if v != "v:k" {
+			t.Errorf("caller %d got %q", i, v)
+		}
+	}
+}
+
+// TestWorkersBound: no more than Workers executions run at once.
+func TestWorkersBound(t *testing.T) {
+	const workers = 3
+	var live, peak atomic.Int32
+	p := New(func(_ context.Context, k int) (int, error) {
+		n := live.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		live.Add(-1)
+		return k, nil
+	}, Config[int]{Workers: workers})
+
+	keys := make([]int, 24)
+	for i := range keys {
+		keys[i] = i
+	}
+	if _, err := p.Collect(context.Background(), keys); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency = %d, want ≤ %d", got, workers)
+	}
+}
+
+// TestCollectOrder: values come back in key order, not completion order.
+func TestCollectOrder(t *testing.T) {
+	p := New(func(_ context.Context, k int) (int, error) {
+		// Later keys finish first.
+		time.Sleep(time.Duration(30-k) * time.Millisecond)
+		return k * 10, nil
+	}, Config[int]{Workers: 8})
+	keys := []int{3, 1, 2, 9}
+	vals, err := p.Collect(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if vals[i] != k*10 {
+			t.Errorf("vals[%d] = %d, want %d", i, vals[i], k*10)
+		}
+	}
+}
+
+// TestCollectFirstError: the reported error is the earliest failed key's,
+// deterministically, and it names the key.
+func TestCollectFirstError(t *testing.T) {
+	p := New(func(_ context.Context, k int) (int, error) {
+		if k%2 == 1 {
+			return 0, fmt.Errorf("odd key")
+		}
+		return k, nil
+	}, Config[int]{Workers: 4})
+	for trial := 0; trial < 5; trial++ {
+		p := p
+		if trial > 0 { // fresh pool each trial so nothing is memoized
+			p = New(p.fn, p.cfg)
+		}
+		_, err := p.Collect(context.Background(), []int{2, 5, 4, 3})
+		if err == nil {
+			t.Fatal("Collect succeeded with failing keys")
+		}
+		if !strings.Contains(err.Error(), "5") {
+			t.Errorf("error %q does not name the earliest failed key 5", err)
+		}
+	}
+}
+
+// TestErrorMemoized: a deterministic failure is cached like a value.
+func TestErrorMemoized(t *testing.T) {
+	var execs atomic.Int32
+	p := New(func(_ context.Context, k int) (int, error) {
+		execs.Add(1)
+		return 0, errors.New("boom")
+	}, Config[int]{Workers: 1})
+	ctx := context.Background()
+	_, err1 := p.Do(ctx, 7)
+	_, err2 := p.Do(ctx, 7)
+	if err1 == nil || err2 == nil {
+		t.Fatal("expected errors")
+	}
+	if got := execs.Load(); got != 1 {
+		t.Errorf("executions = %d, want 1 (error should be memoized)", got)
+	}
+	if l := p.Ledger(); l.Errors != 1 {
+		t.Errorf("ledger errors = %d, want 1", l.Errors)
+	}
+}
+
+// TestCancellation: a canceled run is returned as a context error and is
+// NOT memoized — a later call with a live context re-executes it.
+func TestCancellation(t *testing.T) {
+	var execs atomic.Int32
+	p := New(func(ctx context.Context, k int) (int, error) {
+		if execs.Add(1) > 1 {
+			return k, nil // the post-cancel retry completes immediately
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return k, nil
+		}
+	}, Config[int]{Workers: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := p.Do(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do under canceled ctx: %v, want context.Canceled", err)
+	}
+
+	// Fresh context: the key must run again (cancellation is not memoized).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := p.Do(context.Background(), 1)
+		if err == nil && v == 1 {
+			return // re-executed and completed
+		}
+		t.Errorf("retry after cancel: v=%d err=%v", v, err)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("retry after cancel hung")
+	}
+	if got := execs.Load(); got != 2 {
+		t.Errorf("executions = %d, want 2 (cancel must not memoize)", got)
+	}
+}
+
+// TestCancelWhileQueued: a caller canceled while waiting for a worker slot
+// returns promptly and releases any joined waiters.
+func TestCancelWhileQueued(t *testing.T) {
+	block := make(chan struct{})
+	p := New(func(_ context.Context, k int) (int, error) {
+		<-block
+		return k, nil
+	}, Config[int]{Workers: 1})
+
+	// Occupy the only worker.
+	go p.Do(context.Background(), 0)
+	time.Sleep(10 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Do(ctx, 1) // queued behind key 0
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("queued Do: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued Do did not observe cancellation")
+	}
+	close(block)
+}
+
+// TestRunTimeout: a per-run timeout fails the run (and, with the caller
+// context still alive, the deterministic failure is memoized).
+func TestRunTimeout(t *testing.T) {
+	var execs atomic.Int32
+	p := New(func(ctx context.Context, k int) (int, error) {
+		execs.Add(1)
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return k, nil
+		}
+	}, Config[int]{Workers: 1, RunTimeout: 10 * time.Millisecond})
+	ctx := context.Background()
+	if _, err := p.Do(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do: %v, want deadline exceeded", err)
+	}
+	if _, err := p.Do(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second Do: %v, want memoized deadline error", err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Errorf("executions = %d, want 1", got)
+	}
+}
+
+// TestEvents: the progress callback sees every resolution with ledger
+// counters attached.
+func TestEvents(t *testing.T) {
+	var events []Event[int]
+	p := New(func(_ context.Context, k int) (int, error) {
+		return k, nil
+	}, Config[int]{Workers: 1, OnEvent: func(ev Event[int]) { events = append(events, ev) }})
+	ctx := context.Background()
+	p.Do(ctx, 1)
+	p.Do(ctx, 1)
+	p.Do(ctx, 2)
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if events[0].Cached || !events[1].Cached || events[2].Cached {
+		t.Errorf("cached flags = %v %v %v, want false true false",
+			events[0].Cached, events[1].Cached, events[2].Cached)
+	}
+	last := events[2]
+	if last.Executed != 2 || last.CacheHits != 1 {
+		t.Errorf("final counters = %d executed / %d hits, want 2 / 1", last.Executed, last.CacheHits)
+	}
+}
+
+// TestLedgerString: the summary line includes the headline counters.
+func TestLedgerString(t *testing.T) {
+	l := Ledger{Executed: 4, CacheHits: 2, Errors: 1}
+	s := l.String()
+	for _, frag := range []string{"4 runs", "2 cache hits", "1 errors"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("ledger string %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // EngineKind selects the time-advance mechanism.
 type EngineKind int
@@ -39,15 +42,20 @@ const maxSegment = 0.25
 // minSegment guards against zero-length progress.
 const minSegment = 1e-6
 
-// runEventDriven advances the world to cfg.Duration in variable segments.
-func (s *Simulator) runEventDriven() {
+// runEventDriven advances the world to cfg.Duration in variable segments,
+// polling ctx for cancellation between segments.
+func (s *Simulator) runEventDriven(ctx context.Context) error {
 	end := s.cfg.Duration
-	for s.now < end {
+	for i := 0; s.now < end; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return s.canceled(ctx)
+		}
 		dt := s.segment(end)
 		s.step(dt)
 		s.now += dt
 	}
 	s.now = end
+	return nil
 }
 
 // segment returns the largest dt that contains no discrete event.

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -250,12 +251,30 @@ func New(cfg Config) (*Simulator, error) {
 
 // Run executes the configured simulation and returns its results.
 func (s *Simulator) Run() (metrics.Results, error) {
+	return s.RunContext(context.Background())
+}
+
+// ctxCheckStride is how many steps/segments run between cancellation
+// checks: frequent enough to cancel within microseconds of wall time,
+// rare enough to keep ctx polling off the hot path.
+const ctxCheckStride = 4096
+
+// RunContext is Run with cooperative cancellation: the main loop polls ctx
+// every few thousand steps and abandons the run with a wrapped context
+// error noting the simulated time reached. Sweep drivers use this for
+// per-run timeouts and ctrl-C.
+func (s *Simulator) RunContext(ctx context.Context) (metrics.Results, error) {
 	if s.cfg.Engine == EventDriven {
-		s.runEventDriven()
+		if err := s.runEventDriven(ctx); err != nil {
+			return s.res, err
+		}
 	} else {
 		dt := s.cfg.StepDt
 		steps := int(s.cfg.Duration / dt)
 		for i := 0; i < steps; i++ {
+			if i%ctxCheckStride == 0 && ctx.Err() != nil {
+				return s.res, s.canceled(ctx)
+			}
 			s.now = float64(i) * dt
 			s.step(dt)
 		}
@@ -265,6 +284,11 @@ func (s *Simulator) Run() (metrics.Results, error) {
 		return s.res, fmt.Errorf("sim: inconsistent accounting: %w", err)
 	}
 	return s.res, nil
+}
+
+// canceled wraps the context's error with the simulated time reached.
+func (s *Simulator) canceled(ctx context.Context) error {
+	return fmt.Errorf("sim: run canceled at t=%.3fs: %w", s.now, context.Cause(ctx))
 }
 
 // step advances the world by dt.
