@@ -118,6 +118,10 @@ func (s *Store) UsableEnergy() float64 {
 // UsableCapacity returns the usable energy of a full store.
 func (s *Store) UsableCapacity() float64 { return s.eMax - s.eOff }
 
+// Capacity returns the maximum storable energy (½CV_max²), the upper bound
+// the invariant checker holds the store to.
+func (s *Store) Capacity() float64 { return s.eMax }
+
 // On reports whether the device is powered (hysteresis state).
 func (s *Store) On() bool { return s.on }
 

@@ -10,7 +10,11 @@
 //   - capture losses, for the capture-rate-degradation study (Fig 2b).
 package metrics
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"reflect"
+)
 
 // Results accumulates everything one simulation run produces.
 type Results struct {
@@ -177,40 +181,183 @@ func (r Results) DegradationRate() float64 {
 
 // Check validates internal consistency; the simulator calls it at the end
 // of every run so accounting bugs fail loudly in tests and experiments.
+// Every violated identity is reported (joined), not just the first, so a
+// single failing run exposes its full accounting damage at once.
 func (r Results) Check() error {
-	if r.Captures < 0 || r.Arrivals < 0 || r.InterestingArrivals < 0 {
-		return fmt.Errorf("metrics: negative counters: %+v", r)
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("metrics: "+format, args...))
 	}
+
+	// No counter may ever be negative: walk every numeric field so new
+	// counters are covered automatically.
+	v := reflect.ValueOf(r)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int:
+			if f.Int() < 0 {
+				bad("negative counter %s = %d", t.Field(i).Name, f.Int())
+			}
+		case reflect.Float64:
+			if f.Float() < 0 {
+				bad("negative counter %s = %g", t.Field(i).Name, f.Float())
+			}
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				if f.Index(j).Int() < 0 {
+					bad("negative counter %s[%d] = %d", t.Field(i).Name, j, f.Index(j).Int())
+				}
+			}
+		}
+	}
+
+	// Capture pipeline: misses are a subset of captures, interesting
+	// misses a subset of misses, and only non-missed frames can arrive.
+	if r.CaptureMisses > r.Captures {
+		bad("capture misses %d exceed captures %d", r.CaptureMisses, r.Captures)
+	}
+	if r.MissedInteresting > r.CaptureMisses {
+		bad("missed interesting %d exceed capture misses %d", r.MissedInteresting, r.CaptureMisses)
+	}
+	if r.Arrivals > r.Captures-r.CaptureMisses && r.Captures > 0 {
+		bad("arrivals %d exceed surviving captures %d", r.Arrivals, r.Captures-r.CaptureMisses)
+	}
+
+	// Buffer boundary.
 	if r.InterestingArrivals > r.Arrivals {
-		return fmt.Errorf("metrics: interesting arrivals %d exceed arrivals %d",
-			r.InterestingArrivals, r.Arrivals)
+		bad("interesting arrivals %d exceed arrivals %d", r.InterestingArrivals, r.Arrivals)
 	}
 	if r.IBODropsInteresting > r.InterestingArrivals {
-		return fmt.Errorf("metrics: IBO drops %d exceed interesting arrivals %d",
-			r.IBODropsInteresting, r.InterestingArrivals)
+		bad("IBO drops %d exceed interesting arrivals %d", r.IBODropsInteresting, r.InterestingArrivals)
+	}
+	if r.IBODropsOther > r.Arrivals-r.InterestingArrivals && r.Arrivals >= r.InterestingArrivals {
+		bad("uninteresting IBO drops %d exceed uninteresting arrivals %d",
+			r.IBODropsOther, r.Arrivals-r.InterestingArrivals)
 	}
 	// An interesting input can be discarded by a classifier at most once
 	// (a negative verdict removes it), so false negatives plus entry-drops
 	// cannot exceed arrivals. True positives may exceed arrivals when a
 	// chain holds several classifiers, so they are excluded.
 	if r.FalseNegatives+r.IBODropsInteresting > r.InterestingArrivals {
-		return fmt.Errorf("metrics: interesting accounting overflow: FN %d + IBO %d > arrivals %d",
+		bad("interesting accounting overflow: FN %d + IBO %d > arrivals %d",
 			r.FalseNegatives, r.IBODropsInteresting, r.InterestingArrivals)
 	}
 	if r.IBOsAverted > r.IBOPredictions {
-		return fmt.Errorf("metrics: averted %d exceeds predictions %d", r.IBOsAverted, r.IBOPredictions)
+		bad("averted %d exceeds predictions %d", r.IBOsAverted, r.IBOPredictions)
 	}
 	if r.IBOReinsertInteresting > r.TruePositives {
-		return fmt.Errorf("metrics: reinsertion losses %d exceed true positives %d",
+		bad("reinsertion losses %d exceed true positives %d",
 			r.IBOReinsertInteresting, r.TruePositives)
 	}
 	// Reports are bounded by positive classifications — when the app has a
 	// classifier at all (transmit-only apps report unclassified inputs).
 	if r.TruePositives+r.FalseNegatives > 0 && r.ReportedInteresting() > r.TruePositives {
-		return fmt.Errorf("metrics: reported interesting %d exceeds true positives %d",
+		bad("reported interesting %d exceeds true positives %d",
 			r.ReportedInteresting(), r.TruePositives)
 	}
-	return nil
+
+	// Runtime behaviour.
+	if r.Degradations > r.JobsCompleted {
+		bad("degradations %d exceed completed jobs %d", r.Degradations, r.JobsCompleted)
+	}
+	if r.AbortedInteresting > r.JobAborts {
+		bad("aborted interesting %d exceed aborts %d", r.AbortedInteresting, r.JobAborts)
+	}
+
+	// Queueing instrumentation: no completed input can sojourn longer than
+	// the run itself, so the sum is bounded by count × duration.
+	if r.SimSeconds > 0 && r.SojournSum > float64(r.SojournCount)*r.SimSeconds+1e-9 {
+		bad("sojourn sum %g exceeds %d inputs × %g s run", r.SojournSum, r.SojournCount, r.SimSeconds)
+	}
+
+	return errors.Join(errs...)
+}
+
+// FieldTol is a per-field comparison tolerance for Diff: the absolute
+// difference must satisfy |a−b| ≤ max(Rel·max(|a|,|b|), Abs).
+type FieldTol struct {
+	Rel float64
+	Abs float64
+}
+
+// Tolerance configures Diff. Zero-valued fields fall back to exact
+// comparison, so callers state every permitted disagreement explicitly.
+type Tolerance struct {
+	// Default applies to every numeric field without an override.
+	Default FieldTol
+	// Fields overrides the default per struct-field name (e.g.
+	// "Brownouts"). An OptionUsage element uses the name "OptionUsage".
+	Fields map[string]FieldTol
+}
+
+func (t Tolerance) forField(name string) FieldTol {
+	if ft, ok := t.Fields[name]; ok {
+		return ft
+	}
+	return t.Default
+}
+
+func (ft FieldTol) ok(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	if scale < 0 {
+		scale = -scale
+	}
+	allowed := ft.Rel * scale
+	if ft.Abs > allowed {
+		allowed = ft.Abs
+	}
+	return diff <= allowed
+}
+
+// Diff compares every exported field of two Results under the given
+// tolerance and returns one human-readable line per disagreeing field
+// (empty when the two agree everywhere). Numeric fields compare within
+// tolerance; string fields must match exactly. Walking the struct by
+// reflection means a future counter is compared automatically — a new
+// field can never silently escape the differential oracle.
+func Diff(a, b Results, tol Tolerance) []string {
+	var diffs []string
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	t := va.Type()
+	for i := 0; i < t.NumField(); i++ {
+		name := t.Field(i).Name
+		fa, fb := va.Field(i), vb.Field(i)
+		ft := tol.forField(name)
+		switch fa.Kind() {
+		case reflect.String:
+			if fa.String() != fb.String() {
+				diffs = append(diffs, fmt.Sprintf("%s: %q vs %q", name, fa.String(), fb.String()))
+			}
+		case reflect.Int:
+			if !ft.ok(float64(fa.Int()), float64(fb.Int())) {
+				diffs = append(diffs, fmt.Sprintf("%s: %d vs %d (tol rel %g abs %g)",
+					name, fa.Int(), fb.Int(), ft.Rel, ft.Abs))
+			}
+		case reflect.Float64:
+			if !ft.ok(fa.Float(), fb.Float()) {
+				diffs = append(diffs, fmt.Sprintf("%s: %g vs %g (tol rel %g abs %g)",
+					name, fa.Float(), fb.Float(), ft.Rel, ft.Abs))
+			}
+		case reflect.Array:
+			for j := 0; j < fa.Len(); j++ {
+				if !ft.ok(float64(fa.Index(j).Int()), float64(fb.Index(j).Int())) {
+					diffs = append(diffs, fmt.Sprintf("%s[%d]: %d vs %d (tol rel %g abs %g)",
+						name, j, fa.Index(j).Int(), fb.Index(j).Int(), ft.Rel, ft.Abs))
+				}
+			}
+		default:
+			diffs = append(diffs, fmt.Sprintf("%s: uncomparable kind %s", name, fa.Kind()))
+		}
+	}
+	return diffs
 }
 
 // String renders a one-line summary.

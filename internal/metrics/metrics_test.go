@@ -160,3 +160,95 @@ func TestQueueingInstrumentationMetrics(t *testing.T) {
 		t.Error("zero-duration instrumentation metrics must be 0")
 	}
 }
+
+// Every identity Check enforces, one mutation per row — including the
+// identities added for the correctness harness (capture subsets, aborted
+// bounds, degradation bounds, sojourn bound, reflective negativity).
+func TestCheckCatchesEachIdentity(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Results)
+		want   string
+	}{
+		{"negative-float", func(r *Results) { r.SojournSum = -1 }, "negative counter SojournSum"},
+		{"negative-array", func(r *Results) { r.OptionUsage[2] = -4 }, "negative counter OptionUsage[2]"},
+		{"misses>captures", func(r *Results) { r.CaptureMisses = r.Captures + 1 }, "capture misses"},
+		{"missedInteresting>misses", func(r *Results) { r.MissedInteresting = r.CaptureMisses + 1 }, "missed interesting"},
+		{"arrivals>captures", func(r *Results) { r.Arrivals = r.Captures + 1; r.InterestingArrivals = 0; r.IBODropsOther = 0 }, "surviving captures"},
+		{"iboOther>uninteresting", func(r *Results) { r.IBODropsOther = r.Arrivals - r.InterestingArrivals + 1 }, "uninteresting IBO drops"},
+		{"degradations>jobs", func(r *Results) { r.Degradations = r.JobsCompleted + 1 }, "degradations"},
+		{"abortedInteresting>aborts", func(r *Results) { r.AbortedInteresting = r.JobAborts + 1 }, "aborted interesting"},
+		{"sojourn>duration", func(r *Results) { r.SimSeconds = 10; r.SojournCount = 2; r.SojournSum = 21 }, "sojourn sum"},
+	}
+	for _, tc := range cases {
+		r := sample()
+		tc.mutate(&r)
+		err := r.Check()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Check = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Check reports every broken identity at once, not just the first.
+func TestCheckJoinsAllViolations(t *testing.T) {
+	r := sample()
+	r.Captures = -1                      // negative counter
+	r.Degradations = 9999                // > jobs completed
+	r.IBOsAverted = r.IBOPredictions + 5 // > predictions
+	err := r.Check()
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for _, want := range []string{"negative counter Captures", "degradations", "averted"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := sample()
+	if d := Diff(a, a, Tolerance{}); len(d) != 0 {
+		t.Errorf("identical results differ: %v", d)
+	}
+}
+
+func TestDiffFindsEveryFieldKind(t *testing.T) {
+	a := sample()
+	b := sample()
+	b.System = "other"      // string
+	b.Captures += 100       // int
+	b.HarvestedJoules = 3.5 // float64
+	b.OptionUsage[1] = 7    // array element
+	d := Diff(a, b, Tolerance{})
+	if len(d) != 4 {
+		t.Fatalf("got %d diffs, want 4: %v", len(d), d)
+	}
+	joined := strings.Join(d, "\n")
+	for _, want := range []string{"System", "Captures", "HarvestedJoules", "OptionUsage[1]"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDiffTolerances(t *testing.T) {
+	a := sample()
+	b := sample()
+	b.Captures = 1040 // 4% off 1000
+	if d := Diff(a, b, Tolerance{Default: FieldTol{Rel: 0.05}}); len(d) != 0 {
+		t.Errorf("4%% difference flagged under 5%% tolerance: %v", d)
+	}
+	if d := Diff(a, b, Tolerance{Default: FieldTol{Rel: 0.01}}); len(d) != 1 {
+		t.Errorf("4%% difference not flagged under 1%% tolerance: %v", d)
+	}
+	// Absolute floor covers small counters where relative bounds are
+	// meaningless.
+	b = sample()
+	b.JobAborts = 3
+	tol := Tolerance{Fields: map[string]FieldTol{"JobAborts": {Abs: 5}}}
+	if d := Diff(a, b, tol); len(d) != 0 {
+		t.Errorf("difference of 3 flagged under abs floor 5: %v", d)
+	}
+}

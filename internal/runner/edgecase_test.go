@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWorkersDefaulting: non-positive Workers configs fall back to
+// runtime.NumCPU(), and the resulting pool actually executes work.
+func TestWorkersDefaulting(t *testing.T) {
+	for _, workers := range []int{0, -5} {
+		p := New(func(ctx context.Context, k int) (int, error) { return k * k, nil },
+			Config[int]{Workers: workers})
+		if got, want := p.Workers(), runtime.NumCPU(); got != want {
+			t.Errorf("Workers=%d config: Workers() = %d, want NumCPU = %d", workers, got, want)
+		}
+		v, err := p.Do(context.Background(), 9)
+		if err != nil || v != 81 {
+			t.Errorf("Workers=%d config: Do(9) = %d, %v; want 81, nil", workers, v, err)
+		}
+	}
+}
+
+// TestCollectDuplicateKeys: duplicate keys in one Collect call must each
+// get the right value positionally while executing the run function only
+// once per distinct key — the rest are joins or memo hits.
+func TestCollectDuplicateKeys(t *testing.T) {
+	p := New(func(ctx context.Context, k string) (string, error) { return "v:" + k, nil },
+		Config[string]{Workers: 2})
+	keys := []string{"a", "b", "a", "a", "b"}
+	vals, err := p.Collect(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if vals[i] != "v:"+k {
+			t.Errorf("vals[%d] = %q, want %q", i, vals[i], "v:"+k)
+		}
+	}
+	l := p.Ledger()
+	if l.Executed != 2 {
+		t.Errorf("executed %d runs for 2 distinct keys, want 2", l.Executed)
+	}
+	if l.Executed+l.CacheHits != len(keys) {
+		t.Errorf("executed %d + cached %d != %d requests", l.Executed, l.CacheHits, len(keys))
+	}
+	if l.Errors != 0 {
+		t.Errorf("errors = %d, want 0", l.Errors)
+	}
+}
+
+// TestLedgerMixedOutcomes drives one pool through fresh runs, memo hits, a
+// per-run timeout, and a cached-error hit, checking the ledger after each
+// phase. A RunTimeout expiry with a live caller context is a property of
+// the key, so it must be memoized like any other error.
+func TestLedgerMixedOutcomes(t *testing.T) {
+	fn := func(ctx context.Context, k string) (string, error) {
+		if k == "slow" {
+			select {
+			case <-time.After(10 * time.Second):
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		}
+		return "ok:" + k, nil
+	}
+	p := New(fn, Config[string]{Workers: 2, RunTimeout: 20 * time.Millisecond})
+	ctx := context.Background()
+
+	if _, err := p.Do(ctx, "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Do(ctx, "fast"); err != nil { // memo hit
+		t.Fatal(err)
+	}
+	if l := p.Ledger(); l.Executed != 1 || l.CacheHits != 1 || l.Errors != 0 {
+		t.Fatalf("after fast+hit: ledger %v, want 1 run / 1 hit / 0 errors", l)
+	}
+
+	_, err := p.Do(ctx, "slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow run error = %v, want deadline exceeded", err)
+	}
+	if !strings.Contains(err.Error(), "slow") {
+		t.Errorf("timeout error %q does not name its key", err)
+	}
+	_, err2 := p.Do(ctx, "slow")
+	if !errors.Is(err2, context.DeadlineExceeded) {
+		t.Fatalf("cached slow error = %v, want deadline exceeded", err2)
+	}
+
+	l := p.Ledger()
+	if l.Executed != 2 || l.CacheHits != 2 || l.Errors != 1 {
+		t.Fatalf("final ledger %v, want 2 runs / 2 hits / 1 error", l)
+	}
+	if l.RunTime <= 0 {
+		t.Errorf("ledger RunTime = %v, want > 0 after a timed-out run", l.RunTime)
+	}
+	if l.Elapsed <= 0 {
+		t.Errorf("ledger Elapsed = %v, want > 0", l.Elapsed)
+	}
+}

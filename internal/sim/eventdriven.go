@@ -50,9 +50,13 @@ func (s *Simulator) runEventDriven(ctx context.Context) error {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
 			return s.canceled(ctx)
 		}
+		if s.stepHook != nil {
+			s.stepHook(i)
+		}
 		dt := s.segment(end)
 		s.step(dt)
 		s.now += dt
+		s.observe()
 	}
 	s.now = end
 	return nil

@@ -27,6 +27,7 @@ import (
 	"quetzal/internal/core"
 	"quetzal/internal/device"
 	"quetzal/internal/energy"
+	"quetzal/internal/invariant"
 	"quetzal/internal/metrics"
 	"quetzal/internal/model"
 	"quetzal/internal/trace"
@@ -75,8 +76,34 @@ type Config struct {
 	Timeline         io.Writer
 	TimelineInterval float64 // default 1 s
 
+	// Checks toggles the runtime invariant checker (internal/invariant):
+	// energy-store bounds and conservation, buffer bounds, monotonic time,
+	// and end-of-run accounting identities, verified every step/segment.
+	// The default (ChecksAuto) enables it, so every test and experiment
+	// pays the invariant tax; benchmarks opt out with ChecksOff.
+	Checks CheckMode
+
+	// EventLog, when non-nil, receives one line per discrete simulation
+	// event (capture, arrival, IBO drop, scheduling decision, classify
+	// verdict, transmission, job completion/abort, power transitions).
+	// The golden-trace regression layer hashes this stream to fingerprint
+	// a run's full behavior; it is also readable for debugging.
+	EventLog io.Writer
+
 	Environment string // label copied into the results
 }
+
+// CheckMode selects whether the invariant checker runs.
+type CheckMode int
+
+const (
+	// ChecksAuto (the zero value) enables the invariant checker.
+	ChecksAuto CheckMode = iota
+	// ChecksOff disables it — for hot benchmark loops only.
+	ChecksOff
+	// ChecksOn enables it explicitly (same behavior as ChecksAuto).
+	ChecksOn
+)
 
 // CheckpointPolicy selects the intermittent-computing progress model.
 type CheckpointPolicy int
@@ -132,6 +159,11 @@ type Simulator struct {
 	wasOn        bool
 	nextTimeline float64
 	debug        debugHook
+	inv          *invariant.Checker
+	// stepHook, when set (tests only), runs before every step/segment;
+	// mutation tests use it to inject accounting bugs mid-run and prove
+	// the invariant checker catches them.
+	stepHook func(step int)
 }
 
 // pendingCapture is a frame whose capture pipeline (readout+diff+JPEG) is
@@ -159,7 +191,8 @@ type jobExec struct {
 	predictedS float64
 	modelS     float64
 	degraded   bool
-	restarts   int // progress-losing restarts of the current task
+	restarts   int     // progress-losing restarts of the current task
+	ckptFail   float64 // ckptAt at the previous power failure (-1: none yet)
 	aborted    bool
 }
 
@@ -237,6 +270,9 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.res.System = cfg.Controller.Name()
 	s.res.Environment = cfg.Environment
+	if cfg.Checks != ChecksOff {
+		s.inv = invariant.New(invariant.Config{})
+	}
 
 	ops, usesModule := cfg.Controller.RatioOps()
 	if ops > 0 {
@@ -275,15 +311,66 @@ func (s *Simulator) RunContext(ctx context.Context) (metrics.Results, error) {
 			if i%ctxCheckStride == 0 && ctx.Err() != nil {
 				return s.res, s.canceled(ctx)
 			}
+			if s.stepHook != nil {
+				s.stepHook(i)
+			}
 			s.now = float64(i) * dt
 			s.step(dt)
+			s.observe()
 		}
 	}
 	s.finish()
-	if err := s.res.Check(); err != nil {
+	if s.inv != nil {
+		if err := s.inv.Finish(invariant.FinalState{
+			StepState:       s.snapshot(),
+			Results:         s.res,
+			PendingCaptures: len(s.captures),
+		}); err != nil {
+			return s.res, fmt.Errorf("sim: %w", err)
+		}
+	} else if err := s.res.Check(); err != nil {
 		return s.res, fmt.Errorf("sim: inconsistent accounting: %w", err)
 	}
 	return s.res, nil
+}
+
+// snapshot captures the live state the invariant checker observes.
+func (s *Simulator) snapshot() invariant.StepState {
+	st := s.store.Stats()
+	return invariant.StepState{
+		Now: s.now,
+		Store: invariant.StoreState{
+			Energy:    s.store.Energy(),
+			Capacity:  s.store.Capacity(),
+			Harvested: st.HarvestedJ,
+			Consumed:  st.ConsumedJ,
+			Leaked:    st.LeakedJ,
+		},
+		BufferLen: s.buf.Len(),
+		BufferCap: s.buf.Capacity(),
+	}
+}
+
+// observe feeds the per-step invariant checker, when enabled.
+func (s *Simulator) observe() {
+	if s.inv == nil {
+		return
+	}
+	s.inv.Step(s.snapshot())
+}
+
+// Checker exposes the invariant checker for inspection in tests (nil when
+// checks are off).
+func (s *Simulator) Checker() *invariant.Checker { return s.inv }
+
+// logf appends one line to the event log, when configured. The stream is
+// the behavioral fingerprint the golden-trace layer hashes, so call sites
+// must emit deterministically (no map iteration, no wall-clock).
+func (s *Simulator) logf(format string, args ...any) {
+	if s.cfg.EventLog == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.EventLog, format, args...)
 }
 
 // canceled wraps the context's error with the simulated time reached.
@@ -299,10 +386,12 @@ func (s *Simulator) step(dt float64) {
 	on := s.store.On()
 	if s.wasOn && !on {
 		// Power failed: apply the checkpoint policy to in-flight work.
+		s.logf("%.6f brownout\n", s.now)
 		s.onPowerFailure()
 	}
 	if !s.wasOn && on {
 		// Power came back: owe the checkpoint restore before any work.
+		s.logf("%.6f poweron\n", s.now)
 		s.restoreLeft = s.cfg.Profile.MCU.RestoreTime
 	}
 	s.wasOn = on
@@ -336,8 +425,16 @@ func (s *Simulator) step(dt float64) {
 		frac := s.store.DrawPriority(s.app.CapturePexe, use)
 		c.remaining -= use * frac
 		if c.remaining <= 1e-12 {
-			s.finishCapture(s.captures[0])
+			done := s.captures[0]
 			s.captures = s.captures[1:]
+			// The pipeline completes use seconds into this step, not at its
+			// start; stamp the arrival there so both engines agree on when
+			// the input joins the buffer (the event engine's segments make
+			// the left endpoint up to CaptureTexe early otherwise).
+			prev := s.now
+			s.now = prev + use
+			s.finishCapture(done)
+			s.now = prev
 		}
 		return
 	}
@@ -374,8 +471,10 @@ func (s *Simulator) capture() {
 		if interesting {
 			s.res.MissedInteresting++
 		}
+		s.logf("%.6f capture-miss interesting=%v\n", s.now, interesting)
 		return
 	}
+	s.logf("%.6f capture different=%v interesting=%v\n", s.now, different, interesting)
 	s.captures = append(s.captures, pendingCapture{
 		remaining:   s.app.CaptureTexe,
 		different:   different,
@@ -409,7 +508,10 @@ func (s *Simulator) finishCapture(c pendingCapture) {
 		} else {
 			s.res.IBODropsOther++
 		}
+		s.logf("%.6f ibodrop seq=%d interesting=%v\n", s.now, in.Seq, c.interesting)
+		return
 	}
+	s.logf("%.6f arrive seq=%d interesting=%v occ=%d\n", s.now, in.Seq, c.interesting, s.buf.Len())
 }
 
 // invokeController runs the scheduling + degradation logic, charging its
@@ -471,6 +573,8 @@ func (s *Simulator) invokeController(dt float64) {
 			s.res.IBOsAverted++
 		}
 	}
+	s.logf("%.6f sched seq=%d job=%d opts=%v degraded=%v ibo=%v\n",
+		s.now, in.Seq, dec.JobID, options, dec.Degraded, dec.IBOPredicted)
 	s.exec = &jobExec{
 		input:      in,
 		job:        job,
@@ -511,6 +615,7 @@ func (s *Simulator) startTask() {
 	e.ckptAt = texe
 	e.started = false
 	e.restarts = 0
+	e.ckptFail = -1
 }
 
 // atomicEnergyBudget returns the banked energy an atomic task must see
@@ -544,11 +649,16 @@ func (s *Simulator) onPowerFailure() {
 		e.started = false
 		e.restarts++
 	case s.cfg.Checkpoint == PeriodicCheckpoint:
-		// Roll back to the last periodic checkpoint.
+		// Roll back to the last periodic checkpoint. A failure that lands on
+		// the same checkpoint as the previous one banked no net progress —
+		// repeated, that is the same livelock as a full restart (the on-window
+		// is too short to ever reach the next checkpoint), so it must feed
+		// the watchdog too.
 		e.remaining = e.ckptAt
-		if e.ckptAt == e.fullTexe {
-			e.restarts++ // no checkpoint taken yet: full restart
+		if e.ckptAt == e.fullTexe || e.ckptAt == e.ckptFail {
+			e.restarts++
 		}
+		e.ckptFail = e.ckptAt
 	default:
 		// JIT checkpointing: progress preserved exactly.
 	}
@@ -639,8 +749,12 @@ func (s *Simulator) runTask(dt float64) {
 				s.res.TrueNegatives++
 			}
 		}
+		s.logf("%.6f classify seq=%d opt=%d positive=%v\n",
+			s.now, e.input.Seq, e.options[e.taskIdx], e.positive)
 	case model.Transmit:
 		s.recordPacket(opt, e.input.Interesting)
+		s.logf("%.6f tx seq=%d hq=%v interesting=%v\n",
+			s.now, e.input.Seq, opt.HighQuality, e.input.Interesting)
 	}
 
 	// Advance to the next runnable task.
@@ -687,6 +801,8 @@ func (s *Simulator) completeJob() {
 	// follow-up job if the classify chain stayed positive. Re-tagging
 	// cannot overflow: the image never left its memory slot.
 	spawned := e.job.SpawnJobID != model.NoSpawn && e.positive
+	s.logf("%.6f jobdone seq=%d job=%d spawned=%v restarts=%d\n",
+		s.now, e.input.Seq, e.job.ID, spawned, e.restarts)
 	idx := s.buf.IndexOfSeq(e.input.Seq)
 	if idx >= 0 {
 		if spawned {
@@ -723,6 +839,7 @@ func (s *Simulator) abortJob() {
 	if e.input.Interesting {
 		s.res.AbortedInteresting++
 	}
+	s.logf("%.6f jobabort seq=%d job=%d\n", s.now, e.input.Seq, e.job.ID)
 	if idx := s.buf.IndexOfSeq(e.input.Seq); idx >= 0 {
 		s.buf.RemoveAt(idx)
 	}

@@ -1,0 +1,268 @@
+// Package simgen samples the simulator's configuration space: it turns a
+// seed into a complete, valid sim.Config spanning every device profile,
+// controller family, power-trace shape, checkpoint policy and buffer size
+// the repository ships. The differential oracle runs each sampled config
+// through both engines and requires all results to agree within
+// Tolerance(); the fuzz target FuzzParams drives the same sampler from
+// arbitrary bytes; and Shrink supports minimizing a failing configuration
+// to its smallest still-failing neighbour.
+//
+// Params uses small integer knobs (indices and integer-scaled physical
+// quantities) rather than raw floats so that (a) a failing config prints
+// as a short reproducible recipe, (b) shrinking is a walk on a lattice,
+// and (c) the fuzzer mutates meaningful dimensions instead of NaN soup.
+package simgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quetzal/internal/baseline"
+	"quetzal/internal/core"
+	"quetzal/internal/device"
+	"quetzal/internal/energy"
+	"quetzal/internal/metrics"
+	"quetzal/internal/sim"
+	"quetzal/internal/trace"
+)
+
+// Knob ranges. Each Params field is normalized into its range by Normalize,
+// so any integer assignment yields a valid configuration.
+const (
+	numProfiles   = 4
+	numSystems    = 6
+	numPowerKinds = 3
+	numCheckpoint = 3
+
+	minEvents, maxEvents     = 2, 10
+	minEventDur, maxEventDur = 5, 25 // seconds, cap on event duration
+	minPowerMW, maxPowerMW   = 2, 80
+	minCapMF, maxCapMF       = 8, 60
+	minBufCap, maxBufCap     = 4, 16
+	minCaptureMS             = 500
+	maxCaptureMS             = 2000
+	maxJitterPct             = 40
+)
+
+// Params is one point in the configuration space.
+type Params struct {
+	Seed         int64 // trace + classifier randomness
+	Profile      int   // 0 apollo4, 1 msp430, 2 stm32g0, 3 apollo4-multiquality
+	System       int   // 0 quetzal, 1 noadapt, 2 alwaysdegrade, 3 catnap, 4 fixed-50, 5 pzo
+	PowerKind    int   // 0 constant, 1 square-wave, 2 solar
+	PowerMW      int   // power level, milliwatts
+	NumEvents    int
+	EventDurS    int // cap on event durations, seconds
+	Checkpoint   int // sim.CheckpointPolicy
+	JitterPct    int // TexeJitterOverride × 100
+	CapMF        int // store capacitance, millifarads
+	BufCap       int // buffer capacity, inputs
+	CapturePerMS int // capture period, milliseconds
+}
+
+// Random samples uniformly over the whole space.
+func Random(seed int64) Params {
+	rng := rand.New(rand.NewSource(seed))
+	span := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+	return Params{
+		Seed:         seed,
+		Profile:      rng.Intn(numProfiles),
+		System:       rng.Intn(numSystems),
+		PowerKind:    rng.Intn(numPowerKinds),
+		PowerMW:      span(minPowerMW, maxPowerMW),
+		NumEvents:    span(minEvents, maxEvents),
+		EventDurS:    span(minEventDur, maxEventDur),
+		Checkpoint:   rng.Intn(numCheckpoint),
+		JitterPct:    rng.Intn(maxJitterPct + 1),
+		CapMF:        span(minCapMF, maxCapMF),
+		BufCap:       span(minBufCap, maxBufCap),
+		CapturePerMS: span(minCaptureMS, maxCaptureMS),
+	}
+}
+
+// Normalize folds every knob into its valid range (for fuzzed inputs).
+func (p Params) Normalize() Params {
+	mod := func(v, n int) int {
+		v %= n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	clamp := func(v, lo, hi int) int { return lo + mod(v-lo, hi-lo+1) }
+	p.Profile = mod(p.Profile, numProfiles)
+	p.System = mod(p.System, numSystems)
+	p.PowerKind = mod(p.PowerKind, numPowerKinds)
+	p.PowerMW = clamp(p.PowerMW, minPowerMW, maxPowerMW)
+	p.NumEvents = clamp(p.NumEvents, minEvents, maxEvents)
+	p.EventDurS = clamp(p.EventDurS, minEventDur, maxEventDur)
+	p.Checkpoint = mod(p.Checkpoint, numCheckpoint)
+	p.JitterPct = clamp(p.JitterPct, 0, maxJitterPct)
+	p.CapMF = clamp(p.CapMF, minCapMF, maxCapMF)
+	p.BufCap = clamp(p.BufCap, minBufCap, maxBufCap)
+	p.CapturePerMS = clamp(p.CapturePerMS, minCaptureMS, maxCaptureMS)
+	return p
+}
+
+// profile returns the device profile for the index.
+func (p Params) profile() device.Profile {
+	switch p.Profile {
+	case 1:
+		return device.MSP430()
+	case 2:
+		return device.STM32G0()
+	case 3:
+		return device.Apollo4MultiQuality()
+	default:
+		return device.Apollo4()
+	}
+}
+
+var profileNames = [...]string{"apollo4", "msp430", "stm32g0", "apollo4-multiq"}
+var systemNames = [...]string{"quetzal", "noadapt", "alwaysdegrade", "catnap", "fixed-50", "pzo"}
+var powerNames = [...]string{"constant", "square", "solar"}
+
+// String renders the parameters as a reproducible one-line recipe.
+func (p Params) String() string {
+	return fmt.Sprintf("seed=%d %s/%s %s@%dmW events=%d×≤%ds ckpt=%s jitter=%d%% cap=%dmF buf=%d capture=%dms",
+		p.Seed, profileNames[p.Profile], p.SystemName(), powerNames[p.PowerKind], p.PowerMW,
+		p.NumEvents, p.EventDurS, sim.CheckpointPolicy(p.Checkpoint), p.JitterPct,
+		p.CapMF, p.BufCap, p.CapturePerMS)
+}
+
+// SystemName names the controller family.
+func (p Params) SystemName() string { return systemNames[p.System] }
+
+// Config assembles the complete simulator configuration for the given
+// engine. Both engines must receive separately built configs (controllers
+// carry state), so callers invoke Config once per engine.
+func (p Params) Config(engine sim.EngineKind) (sim.Config, error) {
+	prof := p.profile()
+	app := prof.PersonDetectionApp()
+	period := float64(p.CapturePerMS) / 1000
+
+	var ctl core.Controller
+	var err error
+	switch p.System {
+	case 1:
+		ctl, err = baseline.NoAdapt(app)
+	case 2:
+		ctl, err = baseline.AlwaysDegrade(app)
+	case 3:
+		ctl, err = baseline.CatNap(app)
+	case 4:
+		ctl, err = baseline.Threshold(app, 0.5)
+	case 5:
+		ctl, err = baseline.PZO(app, 0.5)
+	default:
+		ctl, err = core.New(core.Config{App: app, CapturePeriod: period})
+	}
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("simgen: %v: %w", p, err)
+	}
+
+	events := trace.GenerateEvents(trace.DefaultEventConfig(p.NumEvents, float64(p.EventDurS), p.Seed))
+	watts := float64(p.PowerMW) / 1000
+	var power trace.PowerTrace
+	switch p.PowerKind {
+	case 1:
+		power = trace.SquareWave{High: watts, Low: watts / 10, Period: 45, Duty: 0.5}
+	case 2:
+		solar := trace.GenerateSolar(trace.DefaultSolarConfig(events.Duration()+120, p.Seed+2))
+		// Solar peaks well above its mean; scale so the trace's level knob
+		// still tracks PowerMW.
+		power = trace.Scaled{Base: solar, Factor: watts / 0.05}
+	default:
+		power = trace.Constant{P: watts}
+	}
+
+	store := energy.DefaultConfig()
+	store.Capacitance = float64(p.CapMF) / 1000
+
+	return sim.Config{
+		Profile:            prof,
+		App:                app,
+		Controller:         ctl,
+		Power:              power,
+		Events:             events,
+		Store:              store,
+		Engine:             engine,
+		CapturePeriod:      period,
+		BufferCapacity:     p.BufCap,
+		Seed:               p.Seed + 1,
+		Checkpoint:         sim.CheckpointPolicy(p.Checkpoint),
+		CheckpointInterval: 0.5,
+		TexeJitterOverride: float64(p.JitterPct) / 100,
+		Environment:        "simgen",
+	}, nil
+}
+
+// Run builds and executes the configuration under the given engine.
+func (p Params) Run(engine sim.EngineKind) (metrics.Results, error) {
+	cfg, err := p.Config(engine)
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return metrics.Results{}, fmt.Errorf("simgen: %v: %w", p, err)
+	}
+	return s.Run()
+}
+
+// Shrink returns simpler neighbours of p, nearest-to-minimal first. A
+// failing differential config is minimized by repeatedly moving to any
+// neighbour that still fails, so the reported reproducer is the smallest
+// configuration exhibiting the disagreement.
+func (p Params) Shrink() []Params {
+	var out []Params
+	try := func(q Params) {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	// Structural dimensions toward the trivial point.
+	q := p
+	q.System = 1 // noadapt: stateless controller
+	try(q)
+	q = p
+	q.Profile = 0
+	try(q)
+	q = p
+	q.PowerKind = 0
+	try(q)
+	q = p
+	q.Checkpoint = 0
+	try(q)
+	q = p
+	q.JitterPct = 0
+	try(q)
+	// Scale dimensions, halved toward their minimum.
+	q = p
+	q.NumEvents = shrinkInt(p.NumEvents, minEvents)
+	try(q)
+	q = p
+	q.EventDurS = shrinkInt(p.EventDurS, minEventDur)
+	try(q)
+	q = p
+	q.PowerMW = shrinkInt(p.PowerMW, minPowerMW)
+	try(q)
+	q = p
+	q.CapMF = 33
+	try(q)
+	q = p
+	q.BufCap = 10
+	try(q)
+	q = p
+	q.CapturePerMS = 1000
+	try(q)
+	return out
+}
+
+// shrinkInt halves the distance from v to its minimum.
+func shrinkInt(v, min int) int {
+	if v <= min {
+		return min
+	}
+	return min + (v-min)/2
+}

@@ -245,6 +245,8 @@ type (
 	CheckpointPolicy = sim.CheckpointPolicy
 	// EngineKind selects the simulator's time-advance mechanism.
 	EngineKind = sim.EngineKind
+	// CheckMode toggles the runtime invariant checker.
+	CheckMode = sim.CheckMode
 )
 
 // Simulation engines for SimConfig.Engine.
@@ -253,6 +255,16 @@ const (
 	FixedIncrement = sim.FixedIncrement
 	// EventDriven is the validated fast path (~100x faster).
 	EventDriven = sim.EventDriven
+)
+
+// Invariant-checker modes for SimConfig.Checks.
+const (
+	// ChecksAuto (default) runs the invariant checker every step.
+	ChecksAuto = sim.ChecksAuto
+	// ChecksOff disables invariant checking (benchmarks).
+	ChecksOff = sim.ChecksOff
+	// ChecksOn enables it explicitly.
+	ChecksOn = sim.ChecksOn
 )
 
 // Checkpoint policies for SimConfig.Checkpoint.
