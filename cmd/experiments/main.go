@@ -11,7 +11,8 @@
 //
 //	experiments [-fig all|2b|3|8|9|10|11|11c|12|13|14|circuit|table1|...]
 //	            [-events N] [-seed N] [-mcu apollo4|msp430] [-csv]
-//	            [-parallel N] [-timeout D] [-progress] [-fast]
+//	            [-parallel N] [-timeout D] [-progress]
+//	            [-engine fixed|event] [-fast]
 package main
 
 import (
@@ -46,7 +47,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		md       = flag.Bool("md", false, "emit Markdown tables")
 		svgDir   = flag.String("svg", "", "also write an SVG chart per figure into this directory")
-		fast     = flag.Bool("fast", false, "use the event-driven engine (~100x faster, statistically matching)")
+		engine   = flag.String("engine", "", "time-advance engine: fixed (paper-faithful reference) or event (~100x faster, statistically matching); default fixed")
+		fast     = flag.Bool("fast", false, "shorthand for -engine event")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per CPU)")
 		timeout  = flag.Duration("timeout", 0, "per-run timeout, e.g. 30s (0 = none)")
 		progress = flag.Bool("progress", false, "log each run to stderr as it completes")
@@ -61,12 +63,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
+	kind, err := parseEngine(*engine, *fast)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	setup := experiments.DefaultSetup()
 	setup.Seed = *seed
-	if *fast {
-		setup.Engine = sim.EventDriven
-	}
+	setup.Engine = kind
 	if *events > 0 {
 		setup.NumEvents = *events
 	}
@@ -153,6 +158,29 @@ func main() {
 	}
 	if !*csv && !*md {
 		fmt.Printf("[sweep: %v, %d workers]\n", sw.Ledger(), sw.Workers())
+	}
+}
+
+// parseEngine resolves the -engine/-fast flags into an engine kind, up
+// front like -fig: a typo fails in milliseconds, before any simulation.
+// -fast stays as shorthand for -engine event; combining it with an
+// explicit conflicting -engine is an error rather than a silent override.
+func parseEngine(arg string, fast bool) (sim.EngineKind, error) {
+	switch arg {
+	case "":
+		if fast {
+			return sim.EventDriven, nil
+		}
+		return sim.FixedIncrement, nil
+	case "fixed":
+		if fast {
+			return 0, fmt.Errorf("-fast conflicts with -engine fixed")
+		}
+		return sim.FixedIncrement, nil
+	case "event":
+		return sim.EventDriven, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q; valid engines: fixed, event", arg)
 	}
 }
 

@@ -1,0 +1,16 @@
+package sim
+
+import "testing"
+
+// forEachEngine is the shared table harness for scenario tests: it runs the
+// scenario once per time-advance engine as a named subtest, pinning that
+// scenario-level behavior (restart counting, checkpoint ordering, queueing
+// laws, quality-ladder coverage, spawn chains) is engine-independent.
+// Scenario configs take the engine as a parameter and set Config.Engine.
+func forEachEngine(t *testing.T, run func(t *testing.T, engine EngineKind)) {
+	t.Helper()
+	for _, engine := range []EngineKind{FixedIncrement, EventDriven} {
+		engine := engine
+		t.Run(engine.String(), func(t *testing.T) { run(t, engine) })
+	}
+}

@@ -12,106 +12,112 @@ import (
 // With the four-level radio ladder, Quetzal must actually use intermediate
 // options — not just the extremes — as pressure varies.
 func TestMultiQualityLadderUsesIntermediateOptions(t *testing.T) {
-	prof := device.Apollo4MultiQuality()
-	app := prof.PersonDetectionApp()
-	if err := app.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	r, err := core.New(core.Config{App: app, CapturePeriod: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// A slow power ramp: pressure varies smoothly so the "highest quality
-	// that clears" rule sweeps through the ladder.
-	power := trace.SquareWave{High: 0.060, Low: 0.006, Period: 90, Duty: 0.5}
-	s, err := New(Config{
-		Profile: prof, App: app, Controller: r,
-		Power:  power,
-		Events: steadyEvents(14, 25, 12, true),
-		Seed:   21,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := s.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.OptionUsage[0] == 0 {
-		t.Error("highest quality never used")
-	}
-	used := 0
-	for i, n := range res.OptionUsage {
-		t.Logf("option %d used %d times", i, n)
-		if n > 0 {
-			used++
+	forEachEngine(t, func(t *testing.T, engine EngineKind) {
+		prof := device.Apollo4MultiQuality()
+		app := prof.PersonDetectionApp()
+		if err := app.Validate(); err != nil {
+			t.Fatal(err)
 		}
-	}
-	if used < 3 {
-		t.Errorf("only %d of 4 quality levels used; ladder not exercised", used)
-	}
-	// The option histogram covers exactly the degradable-task executions.
-	total := 0
-	for _, n := range res.OptionUsage {
-		total += n
-	}
-	if total == 0 || total > res.JobsCompleted*len(app.Jobs) {
-		t.Errorf("OptionUsage total %d implausible vs %d jobs", total, res.JobsCompleted)
-	}
+		r, err := core.New(core.Config{App: app, CapturePeriod: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A slow power ramp: pressure varies smoothly so the "highest quality
+		// that clears" rule sweeps through the ladder.
+		power := trace.SquareWave{High: 0.060, Low: 0.006, Period: 90, Duty: 0.5}
+		s, err := New(Config{
+			Profile: prof, App: app, Controller: r,
+			Engine: engine,
+			Power:  power,
+			Events: steadyEvents(14, 25, 12, true),
+			Seed:   21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OptionUsage[0] == 0 {
+			t.Error("highest quality never used")
+		}
+		used := 0
+		for i, n := range res.OptionUsage {
+			t.Logf("option %d used %d times", i, n)
+			if n > 0 {
+				used++
+			}
+		}
+		if used < 3 {
+			t.Errorf("only %d of 4 quality levels used; ladder not exercised", used)
+		}
+		// The option histogram covers exactly the degradable-task executions.
+		total := 0
+		for _, n := range res.OptionUsage {
+			total += n
+		}
+		if total == 0 || total > res.JobsCompleted*len(app.Jobs) {
+			t.Errorf("OptionUsage total %d implausible vs %d jobs", total, res.JobsCompleted)
+		}
+	})
 }
 
 // A three-stage spawn chain (detect → enhance → report) must work end to
 // end: reach probabilities multiply down the chain and re-tagging walks the
 // input through all three jobs.
 func TestThreeStageChain(t *testing.T) {
-	prof := device.Apollo4()
-	ml := &model.Task{Name: "ml", Kind: model.Classify, Options: prof.MLOptions}
-	enhance := &model.Task{Name: "enhance", Kind: model.Compute,
-		Options: []model.Option{{Name: "sharpen", Texe: 0.3, Pexe: 0.009}}}
-	verify := &model.Task{Name: "verify", Kind: model.Classify,
-		Options: []model.Option{{Name: "second-look", Texe: 0.2, Pexe: 0.009, FalseNegative: 0.1, FalsePositive: 0.1}}}
-	radio := &model.Task{Name: "radio", Kind: model.Transmit, Options: prof.RadioOptions}
-	app := &model.App{
-		Name: "three-stage",
-		Jobs: []*model.Job{
-			{ID: 0, Name: "detect", Tasks: []*model.Task{ml}, SpawnJobID: 1},
-			{ID: 1, Name: "enhance", Tasks: []*model.Task{enhance, verify}, SpawnJobID: 2},
-			{ID: 2, Name: "report", Tasks: []*model.Task{radio}, SpawnJobID: model.NoSpawn},
-		},
-		EntryJobID:  0,
-		CaptureTexe: prof.CaptureTexe, CapturePexe: prof.CapturePexe,
-	}
-	if err := app.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	r, err := core.New(core.Config{App: app, CapturePeriod: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := New(Config{
-		Profile: prof, App: app, Controller: r,
-		Power:  trace.Constant{P: 0.04},
-		Events: steadyEvents(10, 15, 12, true),
-		Seed:   22,
+	forEachEngine(t, func(t *testing.T, engine EngineKind) {
+		prof := device.Apollo4()
+		ml := &model.Task{Name: "ml", Kind: model.Classify, Options: prof.MLOptions}
+		enhance := &model.Task{Name: "enhance", Kind: model.Compute,
+			Options: []model.Option{{Name: "sharpen", Texe: 0.3, Pexe: 0.009}}}
+		verify := &model.Task{Name: "verify", Kind: model.Classify,
+			Options: []model.Option{{Name: "second-look", Texe: 0.2, Pexe: 0.009, FalseNegative: 0.1, FalsePositive: 0.1}}}
+		radio := &model.Task{Name: "radio", Kind: model.Transmit, Options: prof.RadioOptions}
+		app := &model.App{
+			Name: "three-stage",
+			Jobs: []*model.Job{
+				{ID: 0, Name: "detect", Tasks: []*model.Task{ml}, SpawnJobID: 1},
+				{ID: 1, Name: "enhance", Tasks: []*model.Task{enhance, verify}, SpawnJobID: 2},
+				{ID: 2, Name: "report", Tasks: []*model.Task{radio}, SpawnJobID: model.NoSpawn},
+			},
+			EntryJobID:  0,
+			CaptureTexe: prof.CaptureTexe, CapturePexe: prof.CapturePexe,
+		}
+		if err := app.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.New(core.Config{App: app, CapturePeriod: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{
+			Profile: prof, App: app, Controller: r,
+			Engine: engine,
+			Power:  trace.Constant{P: 0.04},
+			Events: steadyEvents(10, 15, 12, true),
+			Seed:   22,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalPackets() == 0 {
+			t.Fatal("no packets survived the three-stage chain")
+		}
+		// Both classifiers contribute false negatives; the second stage's FN
+		// applies only to inputs that passed the first.
+		if res.FalseNegatives == 0 {
+			t.Error("no false negatives across two classifiers")
+		}
+		// Every packet needed two positive classifications.
+		if res.TotalPackets() > res.TruePositives+res.FalsePositives {
+			t.Errorf("packets %d exceed positive classifications %d",
+				res.TotalPackets(), res.TruePositives+res.FalsePositives)
+		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := s.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.TotalPackets() == 0 {
-		t.Fatal("no packets survived the three-stage chain")
-	}
-	// Both classifiers contribute false negatives; the second stage's FN
-	// applies only to inputs that passed the first.
-	if res.FalseNegatives == 0 {
-		t.Error("no false negatives across two classifiers")
-	}
-	// Every packet needed two positive classifications.
-	if res.TotalPackets() > res.TruePositives+res.FalsePositives {
-		t.Errorf("packets %d exceed positive classifications %d",
-			res.TotalPackets(), res.TruePositives+res.FalsePositives)
-	}
 }

@@ -43,12 +43,12 @@ func TestMutationEnergyBugCaught(t *testing.T) {
 			}
 			// Two opposite jumps so at least one moves the stored energy no
 			// matter where the trajectory happens to sit when the hook fires.
-			s.stepHook = func(step int) {
+			s.Machine().StepHook = func(step int) {
 				switch step {
 				case 50:
-					s.store.SetFraction(1)
+					s.Store().SetFraction(1)
 				case 200:
-					s.store.SetFraction(0)
+					s.Store().SetFraction(0)
 				}
 			}
 			_, err = s.Run()

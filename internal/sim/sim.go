@@ -1,36 +1,36 @@
-// Package sim is the fixed-increment simulator the evaluation runs on,
-// mirroring the paper's custom simulator (§6.3): time advances in 1 ms
-// steps; harvested energy is added to the storage element every step; a
-// task "runs" by draining the store at its profiled power until its
-// profiled latency has elapsed; and a just-in-time checkpointing system
-// preserves task progress across power failures (the device browns out at
-// VOff, recharges to VOn, pays a restore cost and resumes).
+// Package sim is the compatibility facade over internal/engine, keeping the
+// original all-in-one configuration surface: one Config selects the device
+// scenario, the time-advance engine, and the instrumentation (timeline,
+// invariant checks, event log), and one Simulator runs it.
 //
-// The simulated device runs in parallel to the simulated environment: a
-// camera captures frames at a fixed rate regardless of energy or activity;
-// frames that coincide with a sensing event pass the pixel-difference
-// pre-filter and arrive at the input buffer; the controller under test
-// (Quetzal or a baseline) picks buffered inputs to process and the quality
-// to process them at. Before each selected job runs, the controller's
-// scheduling/degradation logic is charged its own time and energy overhead
-// (§6.3: "we evaluated any scheduling policy and degradation-logic
-// pertaining to the simulated system, incurring its overheads").
+// The simulation itself mirrors the paper's custom simulator (§6.3): time
+// advances in 1 ms steps (or event-bounded segments, see EngineKind);
+// harvested energy is added to the storage element every step; a task
+// "runs" by draining the store at its profiled power until its profiled
+// latency has elapsed; and a just-in-time checkpointing system preserves
+// task progress across power failures (the device browns out at VOff,
+// recharges to VOn, pays a restore cost and resumes).
+//
+// All device physics lives in engine.Machine, the time-advance loops in
+// engine.Stepper implementations, and the instrumentation in engine
+// observers; callers that want to compose those layers differently (custom
+// steppers, extra observers) should use internal/engine directly.
 package sim
 
 import (
 	"context"
-	"fmt"
 	"io"
-	"math/rand"
 
 	"quetzal/internal/buffer"
-	"quetzal/internal/core"
 	"quetzal/internal/device"
 	"quetzal/internal/energy"
+	"quetzal/internal/engine"
 	"quetzal/internal/invariant"
 	"quetzal/internal/metrics"
 	"quetzal/internal/model"
 	"quetzal/internal/trace"
+
+	"quetzal/internal/core"
 )
 
 // Config describes one simulation run.
@@ -105,182 +105,76 @@ const (
 	ChecksOn
 )
 
-// CheckpointPolicy selects the intermittent-computing progress model.
-type CheckpointPolicy int
+// EngineKind selects the time-advance mechanism; see engine.Kind.
+type EngineKind = engine.Kind
 
 const (
-	// JITCheckpoint saves state just in time before the power failure:
-	// progress is fully preserved, and only the restore cost is paid on
-	// resume (the paper's simulator, citing [8, 9, 47, 61, 64]).
-	JITCheckpoint CheckpointPolicy = iota
-	// NoCheckpoint loses the current task's progress on every power
-	// failure: the task restarts from scratch after the restore.
-	NoCheckpoint
-	// PeriodicCheckpoint saves progress every CheckpointInterval seconds
-	// of execution, paying the restore-equivalent cost per checkpoint; a
-	// power failure rolls back to the last checkpoint.
-	PeriodicCheckpoint
+	// FixedIncrement advances in constant StepDt steps — the paper's §6.3
+	// simulator and the reference semantics.
+	FixedIncrement = engine.FixedIncrement
+	// EventDriven advances in variable-length segments bounded by the next
+	// discrete event; typically 50–200× faster with statistically matching
+	// results. See engine.EventDriven.
+	EventDriven = engine.EventDriven
 )
 
-// String names the policy.
-func (p CheckpointPolicy) String() string {
-	switch p {
-	case JITCheckpoint:
-		return "jit"
-	case NoCheckpoint:
-		return "none"
-	case PeriodicCheckpoint:
-		return "periodic"
-	default:
-		return fmt.Sprintf("CheckpointPolicy(%d)", int(p))
-	}
-}
+// CheckpointPolicy selects the intermittent-computing progress model; see
+// engine.CheckpointPolicy.
+type CheckpointPolicy = engine.CheckpointPolicy
 
-// Simulator executes one configured run. Construct with New.
+const (
+	// JITCheckpoint saves state just in time before the power failure
+	// (the paper's simulator, citing [8, 9, 47, 61, 64]).
+	JITCheckpoint = engine.JITCheckpoint
+	// NoCheckpoint loses the current task's progress on every power
+	// failure.
+	NoCheckpoint = engine.NoCheckpoint
+	// PeriodicCheckpoint saves progress every CheckpointInterval seconds
+	// of execution.
+	PeriodicCheckpoint = engine.PeriodicCheckpoint
+)
+
+// Simulator executes one configured run. Construct with New. It wires a
+// Config into the engine layers: an engine.Machine for the device physics,
+// an engine.Stepper for the configured EngineKind, and observers for the
+// timeline and invariant checks.
 type Simulator struct {
-	cfg   Config
-	app   *model.App
-	ctl   core.Controller
-	store *energy.Store
-	buf   *buffer.Buffer
-	rng   *rand.Rand
-	res   metrics.Results
-
-	// Per-invocation controller overhead.
-	ovhTime, ovhPower float64
-
-	// Live execution state.
-	now          float64
-	nextCapture  float64
-	nextSeq      uint64
-	captures     []pendingCapture // capture pipeline work in flight
-	exec         *jobExec         // job currently executing, nil if idle
-	restoreLeft  float64          // restore time still owed after a brownout
-	wasOn        bool
-	nextTimeline float64
-	debug        debugHook
-	inv          *invariant.Checker
-	// stepHook, when set (tests only), runs before every step/segment;
-	// mutation tests use it to inject accounting bugs mid-run and prove
-	// the invariant checker catches them.
-	stepHook func(step int)
-}
-
-// pendingCapture is a frame whose capture pipeline (readout+diff+JPEG) is
-// still running; the store/discard decision lands when it finishes.
-type pendingCapture struct {
-	remaining   float64
-	different   bool // an event was active: frame passes the pre-filter
-	interesting bool
-	capturedAt  float64
-}
-
-// jobExec is one job execution in progress.
-type jobExec struct {
-	input      buffer.Input
-	job        *model.Job
-	options    []int
-	taskIdx    int
-	remaining  float64 // remaining latency of the current task
-	fullTexe   float64 // this execution's sampled latency for the current task
-	ckptAt     float64 // remaining-value at the last periodic checkpoint
-	started    bool    // the current task has drawn its first energy
-	executed   []bool
-	positive   bool // classify-chain state; true until a classifier says no
-	startedAt  float64
-	predictedS float64
-	modelS     float64
-	degraded   bool
-	restarts   int     // progress-losing restarts of the current task
-	ckptFail   float64 // ckptAt at the previous power failure (-1: none yet)
-	aborted    bool
+	m       *engine.Machine
+	stepper engine.Stepper
+	inv     *invariant.Checker
 }
 
 // New validates the configuration and builds a Simulator.
 func New(cfg Config) (*Simulator, error) {
-	if cfg.Controller == nil {
-		return nil, fmt.Errorf("sim: Controller is required")
-	}
-	if cfg.Power == nil {
-		return nil, fmt.Errorf("sim: Power trace is required")
-	}
-	if cfg.Events == nil {
-		return nil, fmt.Errorf("sim: Events trace is required")
-	}
-	if err := cfg.Events.Validate(); err != nil {
+	m, err := engine.New(engine.Config{
+		Profile:            cfg.Profile,
+		App:                cfg.App,
+		Controller:         cfg.Controller,
+		Power:              cfg.Power,
+		Events:             cfg.Events,
+		Store:              cfg.Store,
+		CapturePeriod:      cfg.CapturePeriod,
+		StepDt:             cfg.StepDt,
+		Duration:           cfg.Duration,
+		DrainTime:          cfg.DrainTime,
+		BufferCapacity:     cfg.BufferCapacity,
+		Seed:               cfg.Seed,
+		Checkpoint:         cfg.Checkpoint,
+		CheckpointInterval: cfg.CheckpointInterval,
+		TexeJitterOverride: cfg.TexeJitterOverride,
+		EventLog:           cfg.EventLog,
+		Environment:        cfg.Environment,
+	})
+	if err != nil {
 		return nil, err
 	}
-	if cfg.App == nil {
-		cfg.App = cfg.Profile.PersonDetectionApp()
+	s := &Simulator{m: m, stepper: engine.StepperFor(cfg.Engine)}
+	if cfg.Timeline != nil {
+		m.Observe(engine.NewTimelineWriter(cfg.Timeline, cfg.TimelineInterval))
 	}
-	if err := cfg.App.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Store == (energy.StoreConfig{}) {
-		cfg.Store = energy.DefaultConfig()
-	}
-	if cfg.CapturePeriod == 0 {
-		cfg.CapturePeriod = 1
-	}
-	if cfg.CapturePeriod < 0 {
-		return nil, fmt.Errorf("sim: capture period must be positive, got %g", cfg.CapturePeriod)
-	}
-	if cfg.StepDt == 0 {
-		cfg.StepDt = 0.001
-	}
-	if cfg.StepDt < 0 {
-		return nil, fmt.Errorf("sim: step must be positive, got %g", cfg.StepDt)
-	}
-	if cfg.DrainTime == 0 {
-		cfg.DrainTime = 60
-	}
-	if cfg.Duration == 0 {
-		cfg.Duration = cfg.Events.Duration() + cfg.DrainTime
-	}
-	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("sim: nothing to simulate (duration %g)", cfg.Duration)
-	}
-	if cfg.BufferCapacity == 0 {
-		cfg.BufferCapacity = cfg.Profile.BufferCapacity
-	}
-	if cfg.CheckpointInterval == 0 {
-		cfg.CheckpointInterval = 1
-	}
-	if cfg.CheckpointInterval < 0 {
-		return nil, fmt.Errorf("sim: checkpoint interval must be positive, got %g", cfg.CheckpointInterval)
-	}
-	if cfg.TexeJitterOverride < 0 || cfg.TexeJitterOverride > 1 {
-		return nil, fmt.Errorf("sim: jitter override must be in [0,1], got %g", cfg.TexeJitterOverride)
-	}
-	if cfg.TimelineInterval == 0 {
-		cfg.TimelineInterval = 1
-	}
-	if cfg.BufferCapacity <= 0 {
-		return nil, fmt.Errorf("sim: buffer capacity must be positive, got %d", cfg.BufferCapacity)
-	}
-
-	s := &Simulator{
-		cfg:   cfg,
-		app:   cfg.App,
-		ctl:   cfg.Controller,
-		store: energy.NewStore(cfg.Store),
-		buf:   buffer.New(cfg.BufferCapacity),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		wasOn: true,
-	}
-	s.res.System = cfg.Controller.Name()
-	s.res.Environment = cfg.Environment
 	if cfg.Checks != ChecksOff {
 		s.inv = invariant.New(invariant.Config{})
-	}
-
-	ops, usesModule := cfg.Controller.RatioOps()
-	if ops > 0 {
-		t, e := cfg.Profile.MCU.InvocationOverhead(ops, usesModule)
-		s.ovhTime = t
-		if t > 0 {
-			s.ovhPower = e / t
-		}
+		m.Observe(engine.InvariantObserver{C: s.inv})
 	}
 	return s, nil
 }
@@ -290,585 +184,27 @@ func (s *Simulator) Run() (metrics.Results, error) {
 	return s.RunContext(context.Background())
 }
 
-// ctxCheckStride is how many steps/segments run between cancellation
-// checks: frequent enough to cancel within microseconds of wall time,
-// rare enough to keep ctx polling off the hot path.
-const ctxCheckStride = 4096
-
 // RunContext is Run with cooperative cancellation: the main loop polls ctx
 // every few thousand steps and abandons the run with a wrapped context
 // error noting the simulated time reached. Sweep drivers use this for
 // per-run timeouts and ctrl-C.
 func (s *Simulator) RunContext(ctx context.Context) (metrics.Results, error) {
-	if s.cfg.Engine == EventDriven {
-		if err := s.runEventDriven(ctx); err != nil {
-			return s.res, err
-		}
-	} else {
-		dt := s.cfg.StepDt
-		steps := int(s.cfg.Duration / dt)
-		for i := 0; i < steps; i++ {
-			if i%ctxCheckStride == 0 && ctx.Err() != nil {
-				return s.res, s.canceled(ctx)
-			}
-			if s.stepHook != nil {
-				s.stepHook(i)
-			}
-			s.now = float64(i) * dt
-			s.step(dt)
-			s.observe()
-		}
-	}
-	s.finish()
-	if s.inv != nil {
-		if err := s.inv.Finish(invariant.FinalState{
-			StepState:       s.snapshot(),
-			Results:         s.res,
-			PendingCaptures: len(s.captures),
-		}); err != nil {
-			return s.res, fmt.Errorf("sim: %w", err)
-		}
-	} else if err := s.res.Check(); err != nil {
-		return s.res, fmt.Errorf("sim: inconsistent accounting: %w", err)
-	}
-	return s.res, nil
+	return s.m.Run(ctx, s.stepper)
 }
 
-// snapshot captures the live state the invariant checker observes.
-func (s *Simulator) snapshot() invariant.StepState {
-	st := s.store.Stats()
-	return invariant.StepState{
-		Now: s.now,
-		Store: invariant.StoreState{
-			Energy:    s.store.Energy(),
-			Capacity:  s.store.Capacity(),
-			Harvested: st.HarvestedJ,
-			Consumed:  st.ConsumedJ,
-			Leaked:    st.LeakedJ,
-		},
-		BufferLen: s.buf.Len(),
-		BufferCap: s.buf.Capacity(),
-	}
-}
-
-// observe feeds the per-step invariant checker, when enabled.
-func (s *Simulator) observe() {
-	if s.inv == nil {
-		return
-	}
-	s.inv.Step(s.snapshot())
-}
+// Machine exposes the underlying engine machine, for tests that hook or
+// perturb the live device state.
+func (s *Simulator) Machine() *engine.Machine { return s.m }
 
 // Checker exposes the invariant checker for inspection in tests (nil when
 // checks are off).
 func (s *Simulator) Checker() *invariant.Checker { return s.inv }
 
-// logf appends one line to the event log, when configured. The stream is
-// the behavioral fingerprint the golden-trace layer hashes, so call sites
-// must emit deterministically (no map iteration, no wall-clock).
-func (s *Simulator) logf(format string, args ...any) {
-	if s.cfg.EventLog == nil {
-		return
-	}
-	fmt.Fprintf(s.cfg.EventLog, format, args...)
-}
-
-// canceled wraps the context's error with the simulated time reached.
-func (s *Simulator) canceled(ctx context.Context) error {
-	return fmt.Errorf("sim: run canceled at t=%.3fs: %w", s.now, context.Cause(ctx))
-}
-
-// step advances the world by dt.
-func (s *Simulator) step(dt float64) {
-	// Environment: harvest into the store (this may restart the device).
-	s.store.Harvest(s.cfg.Power.Power(s.now), dt)
-
-	on := s.store.On()
-	if s.wasOn && !on {
-		// Power failed: apply the checkpoint policy to in-flight work.
-		s.logf("%.6f brownout\n", s.now)
-		s.onPowerFailure()
-	}
-	if !s.wasOn && on {
-		// Power came back: owe the checkpoint restore before any work.
-		s.logf("%.6f poweron\n", s.now)
-		s.restoreLeft = s.cfg.Profile.MCU.RestoreTime
-	}
-	s.wasOn = on
-
-	// Little's-Law instrumentation: time-integral of queue occupancy.
-	s.res.OccupancyIntegral += float64(s.buf.Len()) * dt
-	if s.cfg.Timeline != nil && s.now >= s.nextTimeline {
-		s.writeTimeline(on)
-		s.nextTimeline += s.cfg.TimelineInterval
-	}
-
-	// Camera: captures fire at a fixed rate no matter what.
-	for s.now >= s.nextCapture {
-		s.capture()
-		s.nextCapture += s.cfg.CapturePeriod
-	}
-
-	// The capture pipeline is an always-on priority subsystem: it keeps
-	// sensing while the compute domain is browned out (that independence
-	// is exactly why the buffer can overflow at low power). It preempts
-	// job processing while active.
-	if len(s.captures) > 0 {
-		c := &s.captures[0]
-		// Draw only for the time the pipeline can actually use: with
-		// variable-length steps (the event-driven engine) dt may exceed
-		// the remaining capture work.
-		use := dt
-		if c.remaining < use {
-			use = c.remaining
-		}
-		frac := s.store.DrawPriority(s.app.CapturePexe, use)
-		c.remaining -= use * frac
-		if c.remaining <= 1e-12 {
-			done := s.captures[0]
-			s.captures = s.captures[1:]
-			// The pipeline completes use seconds into this step, not at its
-			// start; stamp the arrival there so both engines agree on when
-			// the input joins the buffer (the event engine's segments make
-			// the left endpoint up to CaptureTexe early otherwise).
-			prev := s.now
-			s.now = prev + use
-			s.finishCapture(done)
-			s.now = prev
-		}
-		return
-	}
-
-	if !on {
-		return // compute browned out
-	}
-
-	switch {
-	case s.restoreLeft > 0:
-		frac := s.store.Draw(s.cfg.Profile.MCU.RestorePower, dt)
-		s.restoreLeft -= dt * frac
-	case s.exec != nil:
-		s.runTask(dt)
-	case s.buf.Len() > 0:
-		s.invokeController(dt)
-	default:
-		s.store.Draw(s.cfg.Profile.MCU.IdlePower, dt)
-	}
-}
-
-// capture registers one camera frame at the current instant.
-func (s *Simulator) capture() {
-	s.res.Captures++
-	ev, active := s.cfg.Events.ActiveAt(s.now)
-	different := active
-	interesting := active && ev.Interesting
-
-	// The camera runs from the priority path, so a frame is lost only when
-	// the store is fully drained to the floor (no energy for even the
-	// readout) or the pipeline has a starved backlog.
-	if (s.store.UsableEnergy() <= 0 && !s.store.On()) || len(s.captures) >= 4 {
-		s.res.CaptureMisses++
-		if interesting {
-			s.res.MissedInteresting++
-		}
-		s.logf("%.6f capture-miss interesting=%v\n", s.now, interesting)
-		return
-	}
-	s.logf("%.6f capture different=%v interesting=%v\n", s.now, different, interesting)
-	s.captures = append(s.captures, pendingCapture{
-		remaining:   s.app.CaptureTexe,
-		different:   different,
-		interesting: interesting,
-		capturedAt:  s.now,
-	})
-}
-
-// finishCapture applies the pre-filter result once the pipeline completes.
-func (s *Simulator) finishCapture(c pendingCapture) {
-	s.ctl.ObserveCapture(c.different)
-	if !c.different {
-		return // unchanged frame, cheaply discarded
-	}
-	s.res.Arrivals++
-	if c.interesting {
-		s.res.InterestingArrivals++
-	}
-	in := buffer.Input{
-		Seq:         s.nextSeq,
-		CapturedAt:  c.capturedAt,
-		Interesting: c.interesting,
-		JobID:       s.app.EntryJobID,
-		EnqueuedAt:  s.now,
-	}
-	s.nextSeq++
-	if !s.buf.Push(in, false) {
-		// Input buffer overflow: the event the paper fights.
-		if c.interesting {
-			s.res.IBODropsInteresting++
-		} else {
-			s.res.IBODropsOther++
-		}
-		s.logf("%.6f ibodrop seq=%d interesting=%v\n", s.now, in.Seq, c.interesting)
-		return
-	}
-	s.logf("%.6f arrive seq=%d interesting=%v occ=%d\n", s.now, in.Seq, c.interesting, s.buf.Len())
-}
-
-// invokeController runs the scheduling + degradation logic, charging its
-// overhead, and starts the selected job.
-func (s *Simulator) invokeController(dt float64) {
-	s.res.SchedInvocations++
-	if s.ovhTime > 0 {
-		// The overhead of one invocation is far below one step; charge it
-		// as a lump of time and energy.
-		s.res.OverheadSeconds += s.ovhTime
-		s.res.OverheadJoules += s.ovhTime * s.ovhPower
-		s.store.Draw(s.ovhPower, s.ovhTime)
-		if !s.store.On() {
-			return
-		}
-	}
-	env := core.Env{
-		Now:        s.now,
-		InputPower: s.cfg.Power.Power(s.now),
-		BufferLen:  s.buf.Len(),
-		BufferCap:  s.buf.Capacity(),
-	}
-	dec, ok := s.ctl.NextJob(env, s.buf)
-	if !ok {
-		s.store.Draw(s.cfg.Profile.MCU.IdlePower, dt)
-		return
-	}
-	// The input stays in its buffer slot while the job runs — the image
-	// still occupies device memory. It leaves (or is re-tagged in place)
-	// only when the job completes.
-	in, err := s.buf.At(dec.BufferIndex)
-	if err != nil {
-		// The controller returned a stale index; drop the decision.
-		return
-	}
-	job := s.app.JobByID(dec.JobID)
-	if job == nil {
-		return
-	}
-	options := dec.Options
-	if len(options) != len(job.Tasks) {
-		options = make([]int, len(job.Tasks))
-	}
-	for i := range options {
-		if options[i] < 0 || options[i] >= len(job.Tasks[i].Options) {
-			options[i] = 0
-		}
-	}
-	if s.debug != nil {
-		lam, corr := 0.0, 0.0
-		if rt, ok := s.ctl.(*core.Runtime); ok {
-			lam, corr = rt.Lambda(), rt.Correction()
-		}
-		s.debug(s.now, dec, lam, corr)
-	}
-	if dec.IBOPredicted {
-		s.res.IBOPredictions++
-		if dec.IBOAverted {
-			s.res.IBOsAverted++
-		}
-	}
-	s.logf("%.6f sched seq=%d job=%d opts=%v degraded=%v ibo=%v\n",
-		s.now, in.Seq, dec.JobID, options, dec.Degraded, dec.IBOPredicted)
-	s.exec = &jobExec{
-		input:      in,
-		job:        job,
-		options:    options,
-		taskIdx:    0,
-		executed:   make([]bool, len(job.Tasks)),
-		positive:   true,
-		startedAt:  s.now,
-		predictedS: dec.PredictedS,
-		modelS:     dec.ModelS,
-		degraded:   dec.Degraded,
-	}
-	s.startTask()
-}
-
-// startTask samples the current task's execution latency (the §8
-// variable-cost extension) and initialises its progress state.
-func (s *Simulator) startTask() {
-	e := s.exec
-	opt := e.job.Tasks[e.taskIdx].Options[e.options[e.taskIdx]]
-	texe := opt.Texe
-	jitter := opt.TexeJitter
-	if s.cfg.TexeJitterOverride > 0 {
-		jitter = s.cfg.TexeJitterOverride
-	}
-	if jitter > 0 {
-		f := 1 + jitter*s.rng.NormFloat64()
-		if f < 0.1 {
-			f = 0.1
-		}
-		if f > 3 {
-			f = 3
-		}
-		texe *= f
-	}
-	e.fullTexe = texe
-	e.remaining = texe
-	e.ckptAt = texe
-	e.started = false
-	e.restarts = 0
-	e.ckptFail = -1
-}
-
-// atomicEnergyBudget returns the banked energy an atomic task must see
-// before it starts: its full energy cost, capped below the store's usable
-// capacity so an oversized task cannot livelock the device.
-func (s *Simulator) atomicEnergyBudget(opt model.Option) float64 {
-	need := opt.Eexe()
-	if limit := 0.9 * s.store.UsableCapacity(); need > limit {
-		need = limit
-	}
-	return need
-}
-
-// onPowerFailure applies the checkpoint policy when the store browns out
-// mid-execution.
-func (s *Simulator) onPowerFailure() {
-	e := s.exec
-	if e == nil || !e.started || e.remaining <= 0 {
-		return
-	}
-	task := e.job.Tasks[e.taskIdx]
-	switch {
-	case task.Atomic:
-		// Partial transmissions and other atomic work are lost entirely.
-		e.remaining = e.fullTexe
-		e.started = false
-		e.restarts++
-		s.res.AtomicRestarts++
-	case s.cfg.Checkpoint == NoCheckpoint:
-		e.remaining = e.fullTexe
-		e.started = false
-		e.restarts++
-	case s.cfg.Checkpoint == PeriodicCheckpoint:
-		// Roll back to the last periodic checkpoint. A failure that lands on
-		// the same checkpoint as the previous one banked no net progress —
-		// repeated, that is the same livelock as a full restart (the on-window
-		// is too short to ever reach the next checkpoint), so it must feed
-		// the watchdog too.
-		e.remaining = e.ckptAt
-		if e.ckptAt == e.fullTexe || e.ckptAt == e.ckptFail {
-			e.restarts++
-		}
-		e.ckptFail = e.ckptAt
-	default:
-		// JIT checkpointing: progress preserved exactly.
-	}
-	// Watchdog: a task restarting indefinitely (its energy cost exceeds
-	// what the store can ever bank) would deadlock the device; abandon the
-	// job after a bounded number of progress-losing restarts.
-	const maxRestarts = 10
-	if e.restarts > maxRestarts {
-		e.aborted = true
-	}
-}
-
-// writeTimeline emits one CSV row (with a header on first use).
-func (s *Simulator) writeTimeline(on bool) {
-	if s.nextTimeline == 0 {
-		fmt.Fprintln(s.cfg.Timeline, "t_s,power_mw,store_mj,occupancy,state")
-	}
-	state := "idle"
-	switch {
-	case !on:
-		state = "off"
-	case len(s.captures) > 0:
-		state = "capture"
-	case s.restoreLeft > 0:
-		state = "restore"
-	case s.exec != nil:
-		state = fmt.Sprintf("exec:%s", s.exec.job.Name)
-	}
-	fmt.Fprintf(s.cfg.Timeline, "%.3f,%.3f,%.3f,%d,%s\n",
-		s.now, s.cfg.Power.Power(s.now)*1e3, s.store.Energy()*1e3, s.buf.Len(), state)
-}
-
-// runTask advances the current task by dt, handling completion and task
-// semantics.
-func (s *Simulator) runTask(dt float64) {
-	e := s.exec
-	if e.aborted {
-		s.abortJob()
-		return
-	}
-	task := e.job.Tasks[e.taskIdx]
-	opt := task.Options[e.options[e.taskIdx]]
-
-	// Atomic tasks wait until the store has banked their full energy cost:
-	// starting a radio packet that cannot finish within this charge would
-	// waste the partial transmission (§8 atomicity contract).
-	if task.Atomic && !e.started && s.store.UsableEnergy() < s.atomicEnergyBudget(opt) {
-		s.store.Draw(s.cfg.Profile.MCU.IdlePower, dt)
-		return
-	}
-
-	e.started = true
-	frac := s.store.Draw(opt.Pexe, dt)
-	e.remaining -= dt * frac
-
-	// Periodic checkpointing: snapshot progress every CheckpointInterval
-	// of execution, paying the save cost (symmetric to restore).
-	if s.cfg.Checkpoint == PeriodicCheckpoint && !task.Atomic &&
-		e.ckptAt-e.remaining >= s.cfg.CheckpointInterval {
-		e.ckptAt = e.remaining
-		s.store.Draw(s.cfg.Profile.MCU.RestorePower, s.cfg.Profile.MCU.RestoreTime)
-	}
-
-	if e.remaining > 0 {
-		return
-	}
-	// Task complete.
-	e.executed[e.taskIdx] = true
-	if task.Degradable() {
-		if oi := e.options[e.taskIdx]; oi >= 0 && oi < len(s.res.OptionUsage) {
-			s.res.OptionUsage[oi]++
-		}
-	}
-	switch task.Kind {
-	case model.Classify:
-		if e.input.Interesting {
-			if s.rng.Float64() < opt.FalseNegative {
-				e.positive = false
-				s.res.FalseNegatives++
-			} else {
-				s.res.TruePositives++
-			}
-		} else {
-			if s.rng.Float64() < opt.FalsePositive {
-				s.res.FalsePositives++
-			} else {
-				e.positive = false
-				s.res.TrueNegatives++
-			}
-		}
-		s.logf("%.6f classify seq=%d opt=%d positive=%v\n",
-			s.now, e.input.Seq, e.options[e.taskIdx], e.positive)
-	case model.Transmit:
-		s.recordPacket(opt, e.input.Interesting)
-		s.logf("%.6f tx seq=%d hq=%v interesting=%v\n",
-			s.now, e.input.Seq, opt.HighQuality, e.input.Interesting)
-	}
-
-	// Advance to the next runnable task.
-	for {
-		e.taskIdx++
-		if e.taskIdx >= len(e.job.Tasks) {
-			s.completeJob()
-			return
-		}
-		next := e.job.Tasks[e.taskIdx]
-		if next.Conditional && !e.positive {
-			continue // classifier said no: skip the conditional chain
-		}
-		s.startTask()
-		return
-	}
-}
-
-// recordPacket accounts one radio transmission.
-func (s *Simulator) recordPacket(opt model.Option, interesting bool) {
-	switch {
-	case opt.HighQuality && interesting:
-		s.res.HighQInteresting++
-	case opt.HighQuality:
-		s.res.HighQUninteresting++
-	case interesting:
-		s.res.LowQInteresting++
-	default:
-		s.res.LowQUninteresting++
-	}
-}
-
-// completeJob finalises the running job: spawn follow-up work, report
-// feedback, update counters.
-func (s *Simulator) completeJob() {
-	e := s.exec
-	s.exec = nil
-	s.res.JobsCompleted++
-	if e.degraded {
-		s.res.Degradations++
-	}
-
-	// The input leaves the queue — or is re-tagged in place for the
-	// follow-up job if the classify chain stayed positive. Re-tagging
-	// cannot overflow: the image never left its memory slot.
-	spawned := e.job.SpawnJobID != model.NoSpawn && e.positive
-	s.logf("%.6f jobdone seq=%d job=%d spawned=%v restarts=%d\n",
-		s.now, e.input.Seq, e.job.ID, spawned, e.restarts)
-	idx := s.buf.IndexOfSeq(e.input.Seq)
-	if idx >= 0 {
-		if spawned {
-			if err := s.buf.Retag(idx, e.job.SpawnJobID, s.now); err != nil {
-				s.res.IBOReinsertOther++ // unreachable; keep accounting honest
-			}
-		} else if _, err := s.buf.RemoveAt(idx); err != nil {
-			s.res.IBOReinsertOther++
-		} else {
-			// The input has left the system: record its sojourn for the
-			// Little's-Law validation (capture → final departure).
-			s.res.SojournSum += s.now - e.input.CapturedAt
-			s.res.SojournCount++
-		}
-	}
-
-	s.ctl.OnJobComplete(core.Feedback{
-		JobID:      e.job.ID,
-		Executed:   e.executed,
-		Spawned:    spawned,
-		PredictedS: e.modelS,
-		ObservedS:  s.now - e.startedAt,
-		Now:        s.now,
-	})
-}
-
-// abortJob abandons the running job after the watchdog trips: the input is
-// dropped (it cannot be processed on this store) and the controller is
-// informed so its trackers keep moving.
-func (s *Simulator) abortJob() {
-	e := s.exec
-	s.exec = nil
-	s.res.JobAborts++
-	if e.input.Interesting {
-		s.res.AbortedInteresting++
-	}
-	s.logf("%.6f jobabort seq=%d job=%d\n", s.now, e.input.Seq, e.job.ID)
-	if idx := s.buf.IndexOfSeq(e.input.Seq); idx >= 0 {
-		s.buf.RemoveAt(idx)
-	}
-	s.ctl.OnJobComplete(core.Feedback{
-		JobID:      e.job.ID,
-		Executed:   e.executed,
-		PredictedS: e.modelS,
-		ObservedS:  s.now - e.startedAt,
-		Now:        s.now,
-	})
-}
-
-// finish copies store statistics into the results.
-func (s *Simulator) finish() {
-	st := s.store.Stats()
-	s.res.Brownouts = st.Brownouts
-	s.res.HarvestedJoules = st.HarvestedJ
-	s.res.ConsumedJoules = st.ConsumedJ
-	s.res.SimSeconds = s.cfg.Duration
-}
-
 // Results returns the accumulated results so far (useful mid-run in tests).
-func (s *Simulator) Results() metrics.Results { return s.res }
+func (s *Simulator) Results() metrics.Results { return s.m.Results() }
 
 // Buffer exposes the input buffer for inspection in tests.
-func (s *Simulator) Buffer() *buffer.Buffer { return s.buf }
+func (s *Simulator) Buffer() *buffer.Buffer { return s.m.Buffer() }
 
 // Store exposes the energy store for inspection in tests.
-func (s *Simulator) Store() *energy.Store { return s.store }
-
-// debugHook is called after each controller decision when set (tests only).
-type debugHook func(now float64, dec core.Decision, lambda, correction float64)
+func (s *Simulator) Store() *energy.Store { return s.m.Store() }

@@ -235,7 +235,8 @@ func GenerateEvents(cfg EventConfig) *EventTrace { return trace.GenerateEvents(c
 type (
 	// SimConfig describes one simulation run.
 	SimConfig = sim.Config
-	// Simulator is the fixed-increment (1 ms) device simulator.
+	// Simulator is the device simulator: a facade over the engine's device
+	// state machine with a selectable time-advance stepper (EngineKind).
 	Simulator = sim.Simulator
 	// Results is the metrics accounting a run produces.
 	Results = metrics.Results
@@ -243,7 +244,7 @@ type (
 	StoreConfig = energy.StoreConfig
 	// CheckpointPolicy selects the intermittent-computing progress model.
 	CheckpointPolicy = sim.CheckpointPolicy
-	// EngineKind selects the simulator's time-advance mechanism.
+	// EngineKind selects the simulator's time-advance stepper.
 	EngineKind = sim.EngineKind
 	// CheckMode toggles the runtime invariant checker.
 	CheckMode = sim.CheckMode
