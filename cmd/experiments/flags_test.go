@@ -1,0 +1,114 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"quetzal/internal/obs"
+	"quetzal/internal/runner"
+)
+
+func TestValidateObsFlags(t *testing.T) {
+	dir := t.TempDir()
+	in := func(name string) string { return filepath.Join(dir, name) }
+	cases := []struct {
+		name    string
+		cli     obs.CLI
+		svgDir  string
+		wantErr string // substring; empty → must pass
+	}{
+		{name: "all empty"},
+		{
+			name: "all valid",
+			cli:  obs.CLI{Trace: in("sweep.json"), Metrics: in("sweep.txt"), Pprof: "127.0.0.1:0"},
+		},
+		{
+			name:    "trace and metrics same file",
+			cli:     obs.CLI{Trace: in("out"), Metrics: in("out")},
+			wantErr: "same file",
+		},
+		{
+			name:    "trace parent dir missing",
+			cli:     obs.CLI{Trace: filepath.Join(dir, "missing", "sweep.json")},
+			wantErr: "-trace",
+		},
+		{
+			name:    "pprof not host:port",
+			cli:     obs.CLI{Pprof: ":nope:"},
+			wantErr: "pprof",
+		},
+		{
+			name:    "svg dir collides with trace",
+			cli:     obs.CLI{Trace: in("figs")},
+			svgDir:  in("figs"),
+			wantErr: "-svg",
+		},
+		{
+			name:    "svg dir collides with metrics",
+			cli:     obs.CLI{Metrics: in("figs")},
+			svgDir:  in("figs"),
+			wantErr: "-svg",
+		},
+		{
+			name:   "svg dir distinct",
+			cli:    obs.CLI{Trace: in("sweep.json")},
+			svgDir: in("figs"),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateObsFlags(tc.cli, tc.svgDir)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLedgerMetrics(t *testing.T) {
+	lat := obs.NewHistogram(obs.LatencyBuckets())
+	lat.Observe(0.25)
+	lat.Observe(0.5)
+	l := runner.Ledger{
+		Executed: 2, CacheHits: 5, Errors: 1,
+		RunTime: 750 * time.Millisecond, QueueWait: 20 * time.Millisecond,
+		Elapsed: time.Second, Latency: lat,
+	}
+	reg := obs.NewRegistry()
+	ledgerMetrics(reg, l)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	dump := b.String()
+	for _, want := range []string{
+		"sweep_runs_executed_total 2",
+		"sweep_cache_hits_total 5",
+		"sweep_run_errors_total 1",
+		"sweep_run_seconds_total 0.75",
+		"sweep_queue_wait_seconds_total 0.02",
+		"sweep_elapsed_seconds 1",
+		"sweep_run_latency_seconds_count 2",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, dump)
+		}
+	}
+
+	// A ledger from an untouched pool has no latency histogram; the dump
+	// must still work.
+	reg2 := obs.NewRegistry()
+	ledgerMetrics(reg2, runner.Ledger{})
+	if err := reg2.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,6 +13,7 @@
 //	            [-events N] [-seed N] [-mcu apollo4|msp430] [-csv]
 //	            [-parallel N] [-timeout D] [-progress]
 //	            [-engine fixed|event] [-fast]
+//	            [-trace FILE.json] [-metrics FILE.txt] [-pprof HOST:PORT]
 package main
 
 import (
@@ -28,10 +29,40 @@ import (
 
 	"quetzal/internal/device"
 	"quetzal/internal/experiments"
+	"quetzal/internal/obs"
 	"quetzal/internal/report"
 	"quetzal/internal/runner"
 	"quetzal/internal/sim"
 )
+
+// validateObsFlags checks the shared observability flag set plus the
+// experiments-specific interaction with -svg (which names a directory, not a
+// file — sharing its path with a sink would make MkdirAll fail mid-sweep).
+// Kept separate from main for table-driven tests.
+func validateObsFlags(cli obs.CLI, svgDir string) error {
+	if err := cli.Validate(); err != nil {
+		return err
+	}
+	if svgDir != "" && (cli.Trace == svgDir || cli.Metrics == svgDir) {
+		return fmt.Errorf("-svg directory %q collides with a -trace/-metrics output path", svgDir)
+	}
+	return nil
+}
+
+// ledgerMetrics copies a finished sweep's ledger into a registry for the
+// -metrics dump: run/cache/error counters, summed timings, and the per-run
+// latency histogram.
+func ledgerMetrics(reg *obs.Registry, l runner.Ledger) {
+	reg.Counter("sweep_runs_executed_total").Add(int64(l.Executed))
+	reg.Counter("sweep_cache_hits_total").Add(int64(l.CacheHits))
+	reg.Counter("sweep_run_errors_total").Add(int64(l.Errors))
+	reg.Gauge("sweep_run_seconds_total").Set(l.RunTime.Seconds())
+	reg.Gauge("sweep_queue_wait_seconds_total").Set(l.QueueWait.Seconds())
+	reg.Gauge("sweep_elapsed_seconds").Set(l.Elapsed.Seconds())
+	if l.Latency != nil {
+		reg.AddHistogram("sweep_run_latency_seconds", l.Latency)
+	}
+}
 
 // figOrder is the canonical figure id order, used for "all" and for the
 // -fig validation error message.
@@ -52,6 +83,9 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per CPU)")
 		timeout  = flag.Duration("timeout", 0, "per-run timeout, e.g. 30s (0 = none)")
 		progress = flag.Bool("progress", false, "log each run to stderr as it completes")
+		traceOut = flag.String("trace", "", "write a Chrome trace of the sweep's run schedule (wall-clock worker lanes)")
+		metOut   = flag.String("metrics", "", "write sweep ledger metrics (runs, cache hits, latency histogram) to this file")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this host:port during the sweep")
 	)
 	flag.Parse()
 
@@ -65,6 +99,11 @@ func main() {
 	}
 	kind, err := parseEngine(*engine, *fast)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	cli := obs.CLI{Trace: *traceOut, Metrics: *metOut, Pprof: *pprofOn}
+	if err := validateObsFlags(cli, *svgDir); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
@@ -85,9 +124,39 @@ func main() {
 		os.Exit(2)
 	}
 
+	if addr, stopPprof, perr := cli.StartPprof(); perr != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", perr)
+		os.Exit(1)
+	} else if addr != "" {
+		defer stopPprof()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
+
+	// -trace renders the sweep's wall-clock schedule: one span per executed
+	// run, laid out on worker lanes. Recording happens in the serialized
+	// OnEvent callback, which is exactly the concurrency discipline SpanTrace
+	// requires.
+	var span *obs.SpanTrace
+	if cli.Trace != "" {
+		f, ferr := os.Create(cli.Trace)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		span = obs.NewSpanTrace(f, time.Now())
+	}
+
 	cfg := runner.Config[experiments.RunKey]{Workers: *parallel, RunTimeout: *timeout}
-	if *progress {
+	if *progress || span != nil {
 		cfg.OnEvent = func(ev runner.Event[experiments.RunKey]) {
+			if span != nil && !ev.Cached && ev.Err == nil {
+				span.Record(fmt.Sprint(ev.Key), time.Now().Add(-ev.Duration), ev.Duration,
+					[2]string{"queue_wait", ev.QueueWait.Round(time.Microsecond).String()})
+			}
+			if !*progress {
+				return
+			}
 			switch {
 			case ev.Cached:
 				fmt.Fprintf(os.Stderr, "[cached] %v\n", ev.Key)
@@ -124,6 +193,24 @@ func main() {
 		}(i, id)
 	}
 	wg.Wait()
+
+	// The sweep is complete: finalize the obs sinks before rendering (which
+	// may os.Exit on a figure error — the trace and metrics should survive a
+	// partial rendering failure).
+	if span != nil {
+		if err := span.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cli.Metrics != "" {
+		reg := obs.NewRegistry()
+		ledgerMetrics(reg, sw.Ledger())
+		if err := obs.WriteMetricsFile(cli.Metrics, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	for i, id := range ids {
 		out := outs[i]

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"quetzal/internal/obs"
+)
+
+func TestResolveEnv(t *testing.T) {
+	for _, name := range []string{"more-crowded", "crowded", "less-crowded", "msp430-crowded"} {
+		if _, err := resolveEnv(name); err != nil {
+			t.Errorf("resolveEnv(%q): %v", name, err)
+		}
+	}
+	if _, err := resolveEnv("mars"); err == nil {
+		t.Error("resolveEnv(mars): want error")
+	}
+}
+
+func TestResolveMCU(t *testing.T) {
+	for _, name := range []string{"apollo4", "msp430", "stm32g0"} {
+		if _, err := resolveMCU(name); err != nil {
+			t.Errorf("resolveMCU(%q): %v", name, err)
+		}
+	}
+	if _, err := resolveMCU("z80"); err == nil {
+		t.Error("resolveMCU(z80): want error")
+	}
+}
+
+func TestValidateObsFlags(t *testing.T) {
+	dir := t.TempDir()
+	in := func(name string) string { return filepath.Join(dir, name) }
+	cases := []struct {
+		name     string
+		cli      obs.CLI
+		timeline string
+		wantErr  string // substring; empty → must pass
+	}{
+		{name: "all empty"},
+		{
+			name: "all valid",
+			cli:  obs.CLI{Trace: in("t.json"), Metrics: in("m.txt"), Pprof: "localhost:0"},
+		},
+		{
+			name:    "trace and metrics same file",
+			cli:     obs.CLI{Trace: in("out"), Metrics: in("out")},
+			wantErr: "same file",
+		},
+		{
+			name:    "trace parent dir missing",
+			cli:     obs.CLI{Trace: filepath.Join(dir, "no-such-dir", "t.json")},
+			wantErr: "trace",
+		},
+		{
+			name:    "metrics parent dir missing",
+			cli:     obs.CLI{Metrics: filepath.Join(dir, "no-such-dir", "m.txt")},
+			wantErr: "metrics",
+		},
+		{
+			name:    "pprof address without port",
+			cli:     obs.CLI{Pprof: "localhost"},
+			wantErr: "pprof",
+		},
+		{
+			name:     "timeline collides with trace",
+			cli:      obs.CLI{Trace: in("shared.csv")},
+			timeline: in("shared.csv"),
+			wantErr:  "-timeline conflicts",
+		},
+		{
+			name:     "timeline collides with metrics",
+			cli:      obs.CLI{Metrics: in("shared.txt")},
+			timeline: in("shared.txt"),
+			wantErr:  "-timeline conflicts",
+		},
+		{
+			name:     "timeline distinct from sinks",
+			cli:      obs.CLI{Trace: in("t.json"), Metrics: in("m.txt")},
+			timeline: in("tl.csv"),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateObsFlags(tc.cli, tc.timeline)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

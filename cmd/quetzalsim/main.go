@@ -9,15 +9,18 @@
 //	           [-mcu apollo4|msp430] [-events N] [-seed N] [-cells N]
 //	           [-capture SECONDS] [-v] [-json] [-fast]
 //	           [-timeline FILE.csv] [-timelinesvg FILE.svg]
+//	           [-trace FILE.json] [-metrics FILE.txt] [-pprof HOST:PORT]
 //
 // Examples:
 //
 //	quetzalsim -system qz -env crowded -events 300
 //	quetzalsim -system na -env more-crowded -mcu msp430
 //	quetzalsim -system fixed-50 -env less-crowded -v
+//	quetzalsim -system qz -env crowded -trace run.json   # open in chrome://tracing
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -28,9 +31,50 @@ import (
 	"quetzal/internal/device"
 	"quetzal/internal/experiments"
 	"quetzal/internal/metrics"
+	"quetzal/internal/obs"
 	"quetzal/internal/plot"
 	"quetzal/internal/sim"
 )
+
+// resolveEnv maps the -env flag to an environment.
+func resolveEnv(name string) (experiments.Environment, error) {
+	env, ok := map[string]experiments.Environment{
+		"more-crowded":   experiments.MoreCrowded,
+		"crowded":        experiments.Crowded,
+		"less-crowded":   experiments.LessCrowded,
+		"msp430-crowded": experiments.MSP430Env,
+	}[name]
+	if !ok {
+		return experiments.Environment{}, fmt.Errorf("unknown environment %q", name)
+	}
+	return env, nil
+}
+
+// resolveMCU maps the -mcu flag to a device profile.
+func resolveMCU(name string) (device.Profile, error) {
+	switch name {
+	case "apollo4":
+		return device.Apollo4(), nil
+	case "msp430":
+		return device.MSP430(), nil
+	case "stm32g0":
+		return device.STM32G0(), nil
+	default:
+		return device.Profile{}, fmt.Errorf("unknown mcu %q", name)
+	}
+}
+
+// validateObsFlags checks the observability flag set plus its interactions
+// with the timeline flags; kept separate from main for table-driven tests.
+func validateObsFlags(cli obs.CLI, timeline string) error {
+	if err := cli.Validate(); err != nil {
+		return err
+	}
+	if timeline != "" && (timeline == cli.Trace || timeline == cli.Metrics) {
+		return fmt.Errorf("-timeline conflicts with -trace/-metrics on the same file %q", timeline)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -46,17 +90,20 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the full result record as JSON")
 		fast     = flag.Bool("fast", false, "use the event-driven engine (~100x faster)")
 		tlSVG    = flag.String("timelinesvg", "", "render the timeline as an SVG line chart (requires -timeline)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing)")
+		metOut   = flag.String("metrics", "", "write a metrics text dump to this file after the run")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this host:port while the run executes")
 	)
 	flag.Parse()
 
-	env, ok := map[string]experiments.Environment{
-		"more-crowded":   experiments.MoreCrowded,
-		"crowded":        experiments.Crowded,
-		"less-crowded":   experiments.LessCrowded,
-		"msp430-crowded": experiments.MSP430Env,
-	}[*envName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown environment %q\n", *envName)
+	env, err := resolveEnv(*envName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cli := obs.CLI{Trace: *traceOut, Metrics: *metOut, Pprof: *pprofOn}
+	if err := validateObsFlags(cli, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -68,34 +115,69 @@ func main() {
 	if *fast {
 		setup.Engine = sim.EventDriven
 	}
-	switch *mcu {
-	case "apollo4":
-		setup.Profile = device.Apollo4()
-	case "msp430":
-		setup.Profile = device.MSP430()
-	case "stm32g0":
-		setup.Profile = device.STM32G0()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mcu %q\n", *mcu)
+	setup.Profile, err = resolveMCU(*mcu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	var res metrics.Results
-	var err error
-	if *timeline != "" {
-		f, ferr := os.Create(*timeline)
+	if addr, stop, perr := cli.StartPprof(); perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	} else if addr != "" {
+		defer stop()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
+
+	// Sinks requested on the command line; nil entries stay unattached.
+	var sinks struct {
+		timeline *os.File
+		trace    *os.File
+		reg      *obs.Registry
+	}
+	openOut := func(path string) *os.File {
+		f, ferr := os.Create(path)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, ferr)
 			os.Exit(1)
 		}
-		defer f.Close()
-		res, err = setup.RunWithTimeline(*system, env, f)
+		return f
+	}
+	if *timeline != "" {
+		sinks.timeline = openOut(*timeline)
+		defer sinks.timeline.Close()
+	}
+	if cli.Trace != "" {
+		sinks.trace = openOut(cli.Trace)
+		defer sinks.trace.Close()
+	}
+	if cli.Metrics != "" {
+		sinks.reg = obs.NewRegistry()
+	}
+
+	var res metrics.Results
+	if sinks.timeline != nil || sinks.trace != nil || sinks.reg != nil {
+		res, err = setup.RunWith(context.Background(), *system, env, func(c *sim.Config) {
+			if sinks.timeline != nil {
+				c.Timeline = sinks.timeline
+			}
+			if sinks.trace != nil {
+				c.Trace = sinks.trace
+			}
+			c.Metrics = sinks.reg
+		})
 	} else {
 		res, err = setup.Run(*system, env)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if sinks.reg != nil {
+		if err := obs.WriteMetricsFile(cli.Metrics, sinks.reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *tlSVG != "" {

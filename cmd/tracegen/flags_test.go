@@ -1,0 +1,84 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"quetzal/internal/obs"
+	"quetzal/internal/trace"
+)
+
+func TestValidateObsFlags(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name    string
+		cli     obs.CLI
+		kind    string
+		wantErr string // substring; empty → must pass
+	}{
+		{name: "no flags", kind: "solar"},
+		{
+			name: "metrics with generator",
+			cli:  obs.CLI{Metrics: filepath.Join(dir, "m.txt"), Pprof: "localhost:0"},
+			kind: "events",
+		},
+		{
+			name:    "metrics with summary",
+			cli:     obs.CLI{Metrics: filepath.Join(dir, "m.txt")},
+			kind:    "summary",
+			wantErr: "-kind summary",
+		},
+		{
+			name:    "metrics parent dir missing",
+			cli:     obs.CLI{Metrics: filepath.Join(dir, "missing", "m.txt")},
+			kind:    "solar",
+			wantErr: "-metrics",
+		},
+		{
+			name:    "pprof missing port",
+			cli:     obs.CLI{Pprof: "localhost"},
+			kind:    "solar",
+			wantErr: "pprof",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateObsFlags(tc.cli, tc.kind)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestTraceMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	powerMetrics(reg, trace.GenerateSolar(trace.DefaultSolarConfig(600, 1)))
+	eventMetrics(reg, trace.GenerateEvents(trace.DefaultEventConfig(40, 30, 1)))
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	dump := b.String()
+	for _, want := range []string{
+		"trace_power_samples_total",
+		"trace_power_mean_watts",
+		"trace_power_max_watts",
+		"trace_events_total 40",
+		"trace_events_interesting_total",
+		"trace_duration_seconds",
+		"trace_interesting_seconds",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -10,6 +10,9 @@
 //	tracegen -kind rf     [-duration SECONDS] [-seed N] [-o FILE]
 //	tracegen -kind events [-n N] [-maxdur SECONDS] [-seed N] [-o FILE]
 //	tracegen -kind summary -in FILE      # describe an existing trace file
+//
+// Any generating kind also accepts -metrics FILE (statistics of the
+// generated trace as a metrics text dump) and -pprof HOST:PORT.
 package main
 
 import (
@@ -20,8 +23,39 @@ import (
 	"io"
 	"os"
 
+	"quetzal/internal/obs"
 	"quetzal/internal/trace"
 )
+
+// validateObsFlags checks the observability flags against the selected
+// kind: -metrics describes a *generated* trace, so it has nothing to dump
+// for -kind summary. Kept separate from main for table-driven tests.
+func validateObsFlags(cli obs.CLI, kind string) error {
+	if err := cli.Validate(); err != nil {
+		return err
+	}
+	if cli.Metrics != "" && kind == "summary" {
+		return fmt.Errorf("-metrics describes a generated trace; it conflicts with -kind summary")
+	}
+	return nil
+}
+
+// powerMetrics records a generated power trace's statistics.
+func powerMetrics(reg *obs.Registry, tr *trace.Sampled) {
+	dur := tr.Duration()
+	reg.Counter("trace_power_samples_total").Add(int64(len(tr.Samples)))
+	reg.Gauge("trace_duration_seconds").Set(dur)
+	reg.Gauge("trace_power_mean_watts").Set(trace.MeanPower(tr, dur, tr.Dt))
+	reg.Gauge("trace_power_max_watts").Set(trace.MaxPower(tr, dur, tr.Dt))
+}
+
+// eventMetrics records a generated event trace's statistics.
+func eventMetrics(reg *obs.Registry, tr *trace.EventTrace) {
+	reg.Counter("trace_events_total").Add(int64(len(tr.Events)))
+	reg.Counter("trace_events_interesting_total").Add(int64(tr.CountInteresting()))
+	reg.Gauge("trace_duration_seconds").Set(tr.Duration())
+	reg.Gauge("trace_interesting_seconds").Set(tr.InterestingSeconds())
+}
 
 func main() {
 	var (
@@ -33,8 +67,22 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generator seed")
 		out      = flag.String("o", "", "output file (default stdout)")
 		in       = flag.String("in", "", "summary: input trace file")
+		metOut   = flag.String("metrics", "", "write generated-trace statistics to this file")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this host:port while generating")
 	)
 	flag.Parse()
+
+	cli := obs.CLI{Metrics: *metOut, Pprof: *pprofOn}
+	if err := validateObsFlags(cli, *kind); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if addr, stop, err := cli.StartPprof(); err != nil {
+		fatal(err)
+	} else if addr != "" {
+		defer stop()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -46,6 +94,7 @@ func main() {
 		w = f
 	}
 
+	reg := obs.NewRegistry()
 	switch *kind {
 	case "solar":
 		cfg := trace.DefaultSolarConfig(*duration, *seed)
@@ -53,16 +102,19 @@ func main() {
 			cfg.PeakPower = *peak
 		}
 		tr := trace.GenerateSolar(cfg)
+		powerMetrics(reg, tr)
 		if err := trace.WritePower(w, tr); err != nil {
 			fatal(err)
 		}
 	case "rf":
 		tr := trace.GenerateRF(trace.DefaultRFConfig(*duration, *seed))
+		powerMetrics(reg, tr)
 		if err := trace.WritePower(w, tr); err != nil {
 			fatal(err)
 		}
 	case "events":
 		tr := trace.GenerateEvents(trace.DefaultEventConfig(*n, *maxdur, *seed))
+		eventMetrics(reg, tr)
 		if err := trace.WriteEvents(w, tr); err != nil {
 			fatal(err)
 		}
@@ -75,6 +127,11 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if cli.Metrics != "" {
+		if err := obs.WriteMetricsFile(cli.Metrics, reg); err != nil {
+			fatal(err)
+		}
 	}
 }
 

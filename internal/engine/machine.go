@@ -483,6 +483,9 @@ func (m *Machine) invokeController(dt float64) {
 			e.options[i] = 0
 		}
 	}
+	if rt, ok := m.ctl.(*core.Runtime); ok {
+		m.logf("%.6f pid lambda=%.6f corr=%.6f\n", m.now, rt.Lambda(), rt.Correction())
+	}
 	m.logf("%.6f sched seq=%d job=%d opts=%v degraded=%v ibo=%v\n",
 		m.now, in.Seq, dec.JobID, e.options, dec.Degraded, dec.IBOPredicted)
 	e.taskIdx = 0
@@ -543,6 +546,7 @@ func (m *Machine) onPowerFailure() {
 		return
 	}
 	task := e.job.Tasks[e.taskIdx]
+	rolled := true
 	switch {
 	case task.Atomic:
 		// Partial transmissions and other atomic work are lost entirely.
@@ -567,6 +571,11 @@ func (m *Machine) onPowerFailure() {
 		e.ckptFail = e.ckptAt
 	default:
 		// JIT checkpointing: progress preserved exactly.
+		rolled = false
+	}
+	if rolled {
+		m.logf("%.6f rollback job=%d task=%d left=%.6f restarts=%d\n",
+			m.now, e.job.ID, e.taskIdx, e.remaining, e.restarts)
 	}
 	// Watchdog: a task restarting indefinitely (its energy cost exceeds
 	// what the store can ever bank) would deadlock the device; abandon the
@@ -606,6 +615,7 @@ func (m *Machine) runTask(dt float64) {
 		e.ckptAt-e.remaining >= m.cfg.CheckpointInterval {
 		e.ckptAt = e.remaining
 		m.store.Draw(m.cfg.Profile.MCU.RestorePower, m.cfg.Profile.MCU.RestoreTime)
+		m.logf("%.6f ckpt job=%d task=%d left=%.6f\n", m.now, e.job.ID, e.taskIdx, e.remaining)
 	}
 
 	if e.remaining > 0 {

@@ -17,11 +17,19 @@ import (
 // figures, each is a declarative run plan resolved through the sweep's
 // shared memoizing pool.
 
-// RunWithTimeline is Run with a per-second CSV timeline written to w. The
-// timeline writer makes the run unkeyable, so it executes directly rather
-// than through a sweep pool.
+// RunWith is Run with an instrumentation hook over the underlying
+// sim.Config: the mutate callback attaches sinks (timeline, event log,
+// trace exporter, metrics registry) before the run starts. Instrumented
+// runs are unkeyable, so they execute directly rather than through a sweep
+// pool. Note SysIdeal resolves analytically — no simulator is built, so
+// mutate never runs and the sinks stay empty.
+func (s Setup) RunWith(ctx context.Context, systemID string, env Environment, mutate func(*sim.Config)) (metrics.Results, error) {
+	return s.runContext(ctx, systemID, env, mutate)
+}
+
+// RunWithTimeline is Run with a per-second CSV timeline written to w.
 func (s Setup) RunWithTimeline(systemID string, env Environment, w io.Writer) (metrics.Results, error) {
-	return s.runContext(context.Background(), systemID, env, func(c *sim.Config) { c.Timeline = w })
+	return s.RunWith(context.Background(), systemID, env, func(c *sim.Config) { c.Timeline = w })
 }
 
 // JitterStudy sweeps execution-latency jitter (the §8 variable-cost

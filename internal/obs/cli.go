@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	// Register the profiling handlers on http.DefaultServeMux; they are
+	// only reachable when -pprof starts a listener.
+	_ "net/http/pprof"
+)
+
+// CLI is the observability flag set the binaries share: -trace, -metrics
+// and -pprof. Each binary registers the flags itself (usage strings differ)
+// and funnels the values through Validate before opening any sinks.
+type CLI struct {
+	Trace   string // Chrome trace_event JSON output path
+	Metrics string // metrics text-dump output path
+	Pprof   string // net/http/pprof listen address (host:port)
+}
+
+// Validate rejects conflicting or unusable flag values before any work
+// runs: the trace and metrics paths must differ and their parent
+// directories must exist, and the pprof address must be a host:port.
+func (c CLI) Validate() error {
+	if c.Trace != "" && c.Trace == c.Metrics {
+		return fmt.Errorf("-trace and -metrics point at the same file %q", c.Trace)
+	}
+	for _, p := range []struct{ flag, path string }{
+		{"-trace", c.Trace},
+		{"-metrics", c.Metrics},
+	} {
+		if p.path == "" {
+			continue
+		}
+		dir := filepath.Dir(p.path)
+		info, err := os.Stat(dir)
+		if err != nil {
+			return fmt.Errorf("%s: output directory %q does not exist", p.flag, dir)
+		}
+		if !info.IsDir() {
+			return fmt.Errorf("%s: %q is not a directory", p.flag, dir)
+		}
+	}
+	if c.Pprof != "" {
+		if _, _, err := net.SplitHostPort(c.Pprof); err != nil {
+			return fmt.Errorf("-pprof: %q is not a host:port address: %v", c.Pprof, err)
+		}
+	}
+	return nil
+}
+
+// StartPprof starts the profiling server when -pprof was given, returning
+// the bound address (useful with port 0) and a shutdown function; both are
+// no-ops when the flag is empty. The listener is bound synchronously so a
+// bad address fails the run up front.
+func (c CLI) StartPprof() (addr string, stop func(), err error) {
+	if c.Pprof == "" {
+		return "", func() {}, nil
+	}
+	ln, err := net.Listen("tcp", c.Pprof)
+	if err != nil {
+		return "", nil, fmt.Errorf("-pprof: %v", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// WriteMetricsFile dumps reg to path; shared by the binaries' -metrics
+// handling.
+func WriteMetricsFile(path string, reg *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

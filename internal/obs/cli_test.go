@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIValidate(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name    string
+		cli     CLI
+		wantErr string
+	}{
+		{"empty", CLI{}, ""},
+		{"all-valid", CLI{
+			Trace:   filepath.Join(dir, "t.json"),
+			Metrics: filepath.Join(dir, "m.txt"),
+			Pprof:   "localhost:0",
+		}, ""},
+		{"same-file", CLI{
+			Trace:   filepath.Join(dir, "out.json"),
+			Metrics: filepath.Join(dir, "out.json"),
+		}, "same file"},
+		{"trace-bad-dir", CLI{
+			Trace: filepath.Join(dir, "missing", "t.json"),
+		}, "does not exist"},
+		{"metrics-bad-dir", CLI{
+			Metrics: filepath.Join(dir, "missing", "m.txt"),
+		}, "does not exist"},
+		{"pprof-no-port", CLI{Pprof: "localhost"}, "host:port"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cli.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestStartPprofDisabled(t *testing.T) {
+	addr, stop, err := CLI{}.StartPprof()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "" {
+		t.Errorf("disabled pprof reported address %q", addr)
+	}
+	stop() // no-op
+}
+
+func TestStartPprofServes(t *testing.T) {
+	addr, stop, err := CLI{Pprof: "127.0.0.1:0"}.StartPprof()
+	if err != nil {
+		t.Skipf("cannot listen in this environment: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint unreachable: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestStartPprofBadAddress(t *testing.T) {
+	if _, _, err := (CLI{Pprof: "256.256.256.256:99999"}).StartPprof(); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestWriteMetricsFile(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total").Inc()
+	path := filepath.Join(t.TempDir(), "m.txt")
+	if err := WriteMetricsFile(path, reg); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), "x_total 1") {
+		t.Errorf("metrics file missing counter:\n%s", buf)
+	}
+	if err := WriteMetricsFile(filepath.Join(t.TempDir(), "no", "dir", "m.txt"), reg); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

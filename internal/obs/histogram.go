@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Layout is a histogram's fixed bucket layout: strictly increasing upper
+// bounds, with an implicit +Inf overflow bucket. Layouts are fixed at
+// construction so histograms with the same layout merge exactly.
+type Layout struct {
+	bounds []float64
+}
+
+// Buckets builds a layout from explicit upper bounds, which must be
+// strictly increasing and finite.
+func Buckets(bounds ...float64) Layout {
+	for i, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic("obs: bucket bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("obs: bucket bounds must be strictly increasing")
+		}
+	}
+	out := make([]float64, len(bounds))
+	copy(out, bounds)
+	return Layout{bounds: out}
+}
+
+// LinearBuckets builds n buckets with upper bounds start, start+width, ….
+func LinearBuckets(start, width float64, n int) Layout {
+	if width <= 0 || n <= 0 {
+		panic("obs: linear buckets need positive width and count")
+	}
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = start + float64(i)*width
+	}
+	return Layout{bounds: bounds}
+}
+
+// ExpBuckets builds n buckets with upper bounds start, start·factor, ….
+func ExpBuckets(start, factor float64, n int) Layout {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: exponential buckets need positive start and factor > 1")
+	}
+	bounds := make([]float64, n)
+	b := start
+	for i := range bounds {
+		bounds[i] = b
+		b *= factor
+	}
+	return Layout{bounds: bounds}
+}
+
+// LatencyBuckets is the canonical run-latency layout: 1 ms doubling up to
+// ~2 minutes (18 buckets), matching the spread between a cached sweep run
+// and a paper-scale fixed-increment simulation.
+func LatencyBuckets() Layout { return ExpBuckets(0.001, 2, 18) }
+
+// Equal reports whether two layouts have identical bounds.
+func (l Layout) Equal(o Layout) bool {
+	if len(l.bounds) != len(o.bounds) {
+		return false
+	}
+	for i, b := range l.bounds {
+		if b != o.bounds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns a copy of the upper bounds (the +Inf bucket is implicit).
+func (l Layout) Bounds() []float64 {
+	out := make([]float64, len(l.bounds))
+	copy(out, l.bounds)
+	return out
+}
+
+// Histogram is a fixed-bucket-layout histogram. Observing is a short
+// critical section with no allocation; all methods are safe for concurrent
+// use.
+type Histogram struct {
+	mu     sync.Mutex
+	layout Layout
+	counts []uint64 // len(bounds)+1; last is the +Inf overflow bucket
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds an empty histogram with the given layout.
+func NewHistogram(layout Layout) *Histogram {
+	return &Histogram{layout: layout, counts: make([]uint64, len(layout.bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.layout.bounds) && v > h.layout.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest observed value (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// BucketCounts returns a copy of the per-bucket counts; the last entry is
+// the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Clone returns an independent snapshot of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := NewHistogram(h.layout)
+	copy(c.counts, h.counts)
+	c.count, c.sum, c.min, c.max = h.count, h.sum, h.min, h.max
+	return c
+}
+
+// Merge adds o's observations into h. Both histograms must share a layout;
+// merge is commutative on counts, sum, min and max (pinned by
+// FuzzHistogram). o is snapshotted first, so h.Merge(h) is safe.
+func (h *Histogram) Merge(o *Histogram) error {
+	s := o.Clone()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.layout.Equal(s.layout) {
+		return fmt.Errorf("obs: cannot merge histograms with different layouts")
+	}
+	if s.count == 0 {
+		return nil
+	}
+	for i, c := range s.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || s.min < h.min {
+		h.min = s.min
+	}
+	if h.count == 0 || s.max > h.max {
+		h.max = s.max
+	}
+	h.count += s.count
+	h.sum += s.sum
+	return nil
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket containing the target rank. The estimate is off by at
+// most one bucket width for in-range values (pinned by FuzzHistogram); for
+// the overflow bucket, and for q at the extremes, the exact observed
+// min/max are returned. Returns NaN on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < target || c == 0 {
+			continue
+		}
+		if i == len(h.layout.bounds) {
+			return h.max // overflow bucket: no finite upper bound
+		}
+		lo := h.min
+		if i > 0 {
+			lo = h.layout.bounds[i-1]
+		}
+		hi := h.layout.bounds[i]
+		if hi > h.max {
+			hi = h.max
+		}
+		if lo > hi {
+			lo = hi
+		}
+		frac := (target - float64(cum-c)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.max
+}
+
+// writeText renders the histogram in Prometheus text style (cumulative
+// buckets), under the registry lock.
+func (h *Histogram) writeText(w io.Writer, name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.layout.bounds) {
+			le = fmt.Sprintf("%g", h.layout.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.count)
+	return err
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestLayoutConstructors(t *testing.T) {
+	if got := LinearBuckets(0, 1, 4).Bounds(); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("LinearBuckets(0,1,4) = %v", got)
+	}
+	if got := ExpBuckets(1, 2, 3).Bounds(); len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Errorf("ExpBuckets(1,2,3) = %v", got)
+	}
+	if !Buckets(1, 2, 3).Equal(Buckets(1, 2, 3)) {
+		t.Error("identical layouts must be Equal")
+	}
+	if Buckets(1, 2).Equal(Buckets(1, 3)) {
+		t.Error("different layouts must not be Equal")
+	}
+	for name, fn := range map[string]func(){
+		"non-increasing": func() { Buckets(1, 1) },
+		"nan":            func() { Buckets(math.NaN()) },
+		"inf":            func() { Buckets(math.Inf(1)) },
+		"zero-width":     func() { LinearBuckets(0, 0, 3) },
+		"bad-factor":     func() { ExpBuckets(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(Buckets(1, 2, 4))
+	for _, v := range []float64{0.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 15 {
+		t.Errorf("sum = %g, want 15", got)
+	}
+	if h.Min() != 0.5 || h.Max() != 10 {
+		t.Errorf("min/max = %g/%g, want 0.5/10", h.Min(), h.Max())
+	}
+	want := []uint64{1, 1, 1, 1} // ≤1, ≤2, ≤4, +Inf
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket counts %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts %v, want %v", got, want)
+		}
+	}
+	// A value exactly on a bound lands in that bound's bucket (le semantics).
+	h2 := NewHistogram(Buckets(1, 2))
+	h2.Observe(1)
+	if got := h2.BucketCounts(); got[0] != 1 {
+		t.Errorf("boundary value: buckets %v, want it in bucket 0", got)
+	}
+}
+
+func TestHistogramMergeLayoutMismatch(t *testing.T) {
+	a := NewHistogram(Buckets(1, 2))
+	b := NewHistogram(Buckets(1, 3))
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different layouts must error")
+	}
+}
+
+func TestHistogramMergeSelf(t *testing.T) {
+	h := NewHistogram(Buckets(1, 2))
+	h.Observe(0.5)
+	h.Observe(1.5)
+	if err := h.Merge(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("self-merge count = %d, want 4 (snapshot semantics)", got)
+	}
+}
+
+func TestQuantileEmptyAndExtremes(t *testing.T) {
+	h := NewHistogram(Buckets(1, 2))
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile must be NaN")
+	}
+	h.Observe(0.25)
+	h.Observe(1.75)
+	if got := h.Quantile(0); got != 0.25 {
+		t.Errorf("q=0 → %g, want min 0.25", got)
+	}
+	if got := h.Quantile(1); got != 1.75 {
+		t.Errorf("q=1 → %g, want max 1.75", got)
+	}
+	// Overflow-bucket quantiles report the observed max.
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 100 {
+		t.Errorf("overflow quantile → %g, want 100", got)
+	}
+}
+
+// histProperties asserts the invariants FuzzHistogram relies on, for one
+// set of observed values split at mid.
+func histProperties(t *testing.T, layout Layout, values []float64, mid int) {
+	t.Helper()
+	a, b := NewHistogram(layout), NewHistogram(layout)
+	whole := NewHistogram(layout)
+	var sum float64
+	for i, v := range values {
+		if i < mid {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		whole.Observe(v)
+		sum += v
+	}
+
+	// Merge commutativity: a+b and b+a agree with observing everything.
+	ab := a.Clone()
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ba := b.Clone()
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Histogram{ab, ba} {
+		if m.Count() != whole.Count() {
+			t.Fatalf("merge count %d, want %d", m.Count(), whole.Count())
+		}
+		if math.Abs(m.Sum()-whole.Sum()) > 1e-9*(1+math.Abs(whole.Sum())) {
+			t.Fatalf("merge sum %g, want %g", m.Sum(), whole.Sum())
+		}
+		if len(values) > 0 && (m.Min() != whole.Min() || m.Max() != whole.Max()) {
+			t.Fatalf("merge min/max %g/%g, want %g/%g", m.Min(), m.Max(), whole.Min(), whole.Max())
+		}
+		mc, wc := m.BucketCounts(), whole.BucketCounts()
+		for i := range wc {
+			if mc[i] != wc[i] {
+				t.Fatalf("merge buckets %v, want %v", mc, wc)
+			}
+		}
+	}
+
+	// Count and sum identities.
+	counts := whole.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != uint64(len(values)) || whole.Count() != uint64(len(values)) {
+		t.Fatalf("bucket total %d, count %d, want %d", total, whole.Count(), len(values))
+	}
+	if math.Abs(whole.Sum()-sum) > 1e-9*(1+math.Abs(sum)) {
+		t.Fatalf("sum %g, want %g", whole.Sum(), sum)
+	}
+
+	// Cumulative bucket counts are monotonic by construction; verify the
+	// reported counts are all non-negative deltas of a monotone sequence.
+	cum := uint64(0)
+	for _, c := range counts {
+		next := cum + c
+		if next < cum {
+			t.Fatal("cumulative bucket count overflowed")
+		}
+		cum = next
+	}
+
+	if len(values) == 0 {
+		return
+	}
+	// Quantile accuracy: within one bucket width of the exact empirical
+	// quantile, for values inside the finite bucket range. When q·n lands
+	// exactly on a rank boundary the empirical quantile is ambiguous
+	// between two order statistics, so the estimate may sit near either:
+	// the allowed window spans both.
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	bounds := layout.Bounds()
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		target := q * float64(len(sorted))
+		loIdx := int(math.Ceil(target)) - 1
+		if loIdx < 0 {
+			loIdx = 0
+		}
+		hiIdx := int(math.Floor(target))
+		if hiIdx > len(sorted)-1 {
+			hiIdx = len(sorted) - 1
+		}
+		if sorted[loIdx] > bounds[len(bounds)-1] {
+			continue // overflow bucket has no width bound
+		}
+		got := whole.Quantile(q)
+		width := maxBucketWidth(bounds, whole.Min())
+		if got < sorted[loIdx]-width-1e-12 || got > sorted[hiIdx]+width+1e-12 {
+			t.Fatalf("q=%g: estimate %g outside [%g, %g] ± bucket width %g; values %v",
+				q, got, sorted[loIdx], sorted[hiIdx], width, values)
+		}
+	}
+}
+
+// maxBucketWidth is the widest interpolation interval the quantile
+// estimator can land in: consecutive bound gaps plus the min→first-bound
+// interval.
+func maxBucketWidth(bounds []float64, min float64) float64 {
+	w := bounds[0] - min
+	if w < 0 {
+		w = 0
+	}
+	for i := 1; i < len(bounds); i++ {
+		if g := bounds[i] - bounds[i-1]; g > w {
+			w = g
+		}
+	}
+	return w
+}
+
+func TestHistogramProperties(t *testing.T) {
+	layout := LinearBuckets(0, 1, 16)
+	histProperties(t, layout, nil, 0)
+	histProperties(t, layout, []float64{3.5}, 0)
+	histProperties(t, layout, []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, 8)
+	histProperties(t, layout, []float64{15.9, 0.1, 7.7, 7.7, 7.7, 3.2}, 3)
+}
+
+// FuzzHistogram drives histProperties with arbitrary byte-derived values:
+// merge commutativity, count/sum identities, bucket monotonicity, and
+// quantile accuracy within one bucket width.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0, 1, 2, 3, 255, 254, 128, 128}, uint8(4))
+	f.Add([]byte{10, 10, 10, 10, 10}, uint8(2))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x40, 0xc0, 0x20, 0xa0, 0x60, 0xe0}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, split uint8) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		// Scale bytes into [0, 16): inside LinearBuckets(0,1,16) except the
+		// top sliver, so most values exercise interpolation and a few the
+		// overflow bucket.
+		values := make([]float64, len(data))
+		for i, b := range data {
+			values[i] = float64(b) / 16.0
+		}
+		mid := 0
+		if len(values) > 0 {
+			mid = int(split) % (len(values) + 1)
+		}
+		histProperties(t, LinearBuckets(0, 1, 16), values, mid)
+	})
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs_total") != c {
+		t.Error("same name must return the same counter handle")
+	}
+
+	g := r.Gauge("store_j")
+	g.Set(0.125)
+	if got := g.Value(); got != 0.125 {
+		t.Errorf("gauge = %g, want 0.125", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Errorf("gauge = %g, want -3", got)
+	}
+	if r.Gauge("store_j") != g {
+		t.Error("same name must return the same gauge handle")
+	}
+}
+
+func TestRegistryHistogramLayoutConflict(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LinearBuckets(0, 1, 4))
+	if r.Histogram("lat", LinearBuckets(0, 1, 4)) != h {
+		t.Error("same name+layout must return the same histogram handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different layout must panic")
+		}
+	}()
+	r.Histogram("lat", LinearBuckets(0, 2, 4))
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", LinearBuckets(0, 1, 4)).Observe(float64(j % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", LinearBuckets(0, 1, 4)).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+// TestWriteTextDeterministic pins the dump format and its ordering: the
+// text output is the -metrics file surface, so it must be byte-stable.
+func TestWriteTextDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("z_level").Set(1.5)
+	h := r.Histogram("m_seconds", Buckets(0.1, 1))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	want := `# TYPE a_total counter
+a_total 1
+# TYPE b_total counter
+b_total 2
+# TYPE z_level gauge
+z_level 1.5
+# TYPE m_seconds histogram
+m_seconds_bucket{le="0.1"} 1
+m_seconds_bucket{le="1"} 2
+m_seconds_bucket{le="+Inf"} 3
+m_seconds_sum 3.55
+m_seconds_count 3
+`
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	var sb2 strings.Builder
+	if err := r.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("WriteText is not deterministic across calls")
+	}
+}
+
+func TestAddHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram(LatencyBuckets())
+	h.Observe(0.01)
+	r.AddHistogram("run_latency_seconds", h)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "run_latency_seconds_count 1") {
+		t.Errorf("external histogram missing from dump:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,410 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The trace exporter consumes the engine's event-log stream — the same
+// deterministic, golden-fingerprinted line format internal/sim hashes —
+// and renders it as Chrome trace_event JSON (chrome://tracing, Perfetto)
+// and/or a JSONL event log. Working from the committed stream rather than
+// a parallel instrumentation path means the export is byte-stable by
+// construction: identical event streams yield identical exports, so the
+// golden-trace layer can pin exports with sha256 fixtures exactly like the
+// raw streams.
+//
+// The exporter also audits the stream: timestamps must be non-decreasing,
+// arrival sequence numbers contiguous, and job lifecycles well-formed
+// (sched → classify/tx → jobdone|jobabort, one job at a time). A dropped
+// or reordered line surfaces as a Close error (pinned by the mutation test
+// in trace_test.go), so a broken instrumentation path cannot silently
+// produce a plausible-looking trace.
+
+// Chrome trace thread ids: one lane per device subsystem.
+const (
+	tidCompute    = 1 // job execution spans, classify/tx/ckpt/rollback instants
+	tidPower      = 2 // brownout → poweron "off" spans
+	tidCapture    = 3 // capture/arrive/ibodrop instants
+	tidController = 4 // pid updates
+)
+
+// ExporterConfig selects the exporter's sinks; any may be nil.
+type ExporterConfig struct {
+	// Chrome receives the run as Chrome trace_event JSON.
+	Chrome io.Writer
+	// JSONL receives one JSON object per event line.
+	JSONL io.Writer
+	// Metrics, when set, counts exported events per kind
+	// (trace_events_total, trace_<kind>_events_total).
+	Metrics *Registry
+}
+
+// Exporter is an io.Writer for the engine event-log stream (wire it as — or
+// tee it into — sim.Config.EventLog / engine.Config.EventLog). It is not
+// safe for concurrent use; one exporter serves one run. Close flushes the
+// Chrome JSON trailer and reports any stream-integrity violation.
+type Exporter struct {
+	cfg ExporterConfig
+
+	carry []byte // partial trailing line between Write calls
+	err   error  // first stream error, sticky
+
+	wroteHeader bool
+	events      int
+
+	// Stream-integrity state.
+	lastTS  int64  // µs, non-decreasing
+	nextSeq uint64 // next expected arrival sequence number
+	openJob string // job id of the in-flight sched span, "" if none
+	openSeq string // seq of the in-flight sched span
+	powerOff bool  // inside a brownout → poweron span
+
+	total  *Counter
+	byKind map[string]*Counter
+}
+
+// NewExporter builds an exporter over the given sinks.
+func NewExporter(cfg ExporterConfig) *Exporter {
+	e := &Exporter{cfg: cfg}
+	if cfg.Metrics != nil {
+		e.total = cfg.Metrics.Counter("trace_events_total")
+		e.byKind = make(map[string]*Counter)
+	}
+	return e
+}
+
+// Events returns how many event lines the exporter has rendered.
+func (e *Exporter) Events() int { return e.events }
+
+// Write consumes event-log bytes, rendering every complete line. The first
+// malformed or out-of-order line poisons the exporter; the error is
+// returned here and again from Close.
+func (e *Exporter) Write(p []byte) (int, error) {
+	data := p
+	if len(e.carry) > 0 {
+		data = append(e.carry, p...)
+		e.carry = nil
+	}
+	for {
+		nl := -1
+		for i, b := range data {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break
+		}
+		if e.err == nil {
+			e.line(string(data[:nl]))
+		}
+		data = data[nl+1:]
+	}
+	if len(data) > 0 {
+		e.carry = append(e.carry, data...)
+	}
+	return len(p), e.err
+}
+
+// Close finalises the Chrome JSON (closing any spans still open at end of
+// run — a device may legitimately finish browned out or mid-job) and
+// returns the first stream-integrity error, if any.
+func (e *Exporter) Close() error {
+	if e.err == nil {
+		if e.openJob != "" {
+			e.chrome(`{"name":"job:%s","ph":"E","ts":%d,"pid":1,"tid":%d,"args":{"seq":%s,"end":"run-end"}}`,
+				e.openJob, e.lastTS, tidCompute, e.openSeq)
+			e.openJob = ""
+		}
+		if e.powerOff {
+			e.chrome(`{"name":"off","ph":"E","ts":%d,"pid":1,"tid":%d}`, e.lastTS, tidPower)
+			e.powerOff = false
+		}
+	}
+	if e.cfg.Chrome != nil && e.wroteHeader {
+		if _, err := io.WriteString(e.cfg.Chrome, "\n]}\n"); err != nil && e.err == nil {
+			e.err = err
+		}
+	}
+	if len(e.carry) > 0 && e.err == nil {
+		e.err = fmt.Errorf("obs: trace stream ended mid-line: %q", e.carry)
+	}
+	return e.err
+}
+
+// fail records the first stream error.
+func (e *Exporter) fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf("obs: "+format, args...)
+	}
+}
+
+// field returns the value of key in the parsed k=v fields, or fails.
+func field(fields [][2]string, key string) (string, bool) {
+	for _, f := range fields {
+		if f[0] == key {
+			return f[1], true
+		}
+	}
+	return "", false
+}
+
+// line parses and renders one event line: "<seconds> <kind> [k=v ...]".
+func (e *Exporter) line(s string) {
+	ts, kind, fields, err := parseLine(s)
+	if err != nil {
+		e.fail("%v", err)
+		return
+	}
+	if ts < e.lastTS {
+		e.fail("timestamp went backwards: %s (last %d µs)", s, e.lastTS)
+		return
+	}
+	e.lastTS = ts
+
+	// Stream-integrity checks per kind, before rendering.
+	switch kind {
+	case "arrive", "ibodrop":
+		seq, ok := field(fields, "seq")
+		if !ok {
+			e.fail("%s line without seq: %q", kind, s)
+			return
+		}
+		n, perr := strconv.ParseUint(seq, 10, 64)
+		if perr != nil {
+			e.fail("bad seq in %q: %v", s, perr)
+			return
+		}
+		if n != e.nextSeq {
+			e.fail("arrival sequence gap: got seq=%d, want %d (a line was dropped or reordered)", n, e.nextSeq)
+			return
+		}
+		e.nextSeq = n + 1
+	case "sched":
+		if e.openJob != "" {
+			e.fail("sched while job %s (seq %s) still open: %q", e.openJob, e.openSeq, s)
+			return
+		}
+		seq, _ := field(fields, "seq")
+		job, _ := field(fields, "job")
+		if n, perr := strconv.ParseUint(seq, 10, 64); perr != nil || n >= e.nextSeq {
+			e.fail("sched references unknown arrival seq=%s (have %d arrivals): %q", seq, e.nextSeq, s)
+			return
+		}
+		e.openJob, e.openSeq = job, seq
+	case "classify", "tx":
+		if seq, _ := field(fields, "seq"); e.openJob == "" || seq != e.openSeq {
+			e.fail("%s outside its job span (open seq %q): %q", kind, e.openSeq, s)
+			return
+		}
+	case "jobdone", "jobabort":
+		if seq, _ := field(fields, "seq"); e.openJob == "" || seq != e.openSeq {
+			e.fail("%s without matching sched (open seq %q): %q", kind, e.openSeq, s)
+			return
+		}
+		e.openJob, e.openSeq = "", ""
+	case "brownout":
+		if e.powerOff {
+			e.fail("brownout while already off: %q", s)
+			return
+		}
+		// A job interrupted by the brownout stays open: execution resumes
+		// (or rolls back) after poweron without a fresh sched line. The off
+		// span lives on its own lane, so the overlap renders fine.
+		e.powerOff = true
+	case "poweron":
+		if !e.powerOff {
+			e.fail("poweron while already on: %q", s)
+			return
+		}
+		e.powerOff = false
+	case "capture", "capture-miss", "ckpt", "rollback", "pid":
+		// Instant events, no lifecycle state.
+	default:
+		e.fail("unknown event kind %q in %q", kind, s)
+		return
+	}
+
+	e.events++
+	if e.cfg.Metrics != nil {
+		e.total.Inc()
+		c, ok := e.byKind[kind]
+		if !ok {
+			c = e.cfg.Metrics.Counter("trace_" + kind + "_events_total")
+			e.byKind[kind] = c
+		}
+		c.Inc()
+	}
+	e.jsonl(ts, kind, fields)
+	e.render(ts, kind, fields)
+}
+
+// render emits the Chrome trace_event entries for one event.
+func (e *Exporter) render(ts int64, kind string, fields [][2]string) {
+	args := func() string {
+		var b strings.Builder
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%q:%s", f[0], jsonValue(f[1]))
+		}
+		return b.String()
+	}
+	switch kind {
+	case "brownout":
+		e.chrome(`{"name":"off","ph":"B","ts":%d,"pid":1,"tid":%d}`, ts, tidPower)
+	case "poweron":
+		e.chrome(`{"name":"off","ph":"E","ts":%d,"pid":1,"tid":%d}`, ts, tidPower)
+	case "sched":
+		job, _ := field(fields, "job")
+		e.chrome(`{"name":"job:%s","ph":"B","ts":%d,"pid":1,"tid":%d,"args":{%s}}`, job, ts, tidCompute, args())
+	case "jobdone":
+		job, _ := field(fields, "job")
+		e.chrome(`{"name":"job:%s","ph":"E","ts":%d,"pid":1,"tid":%d,"args":{%s}}`, job, ts, tidCompute, args())
+	case "jobabort":
+		job, _ := field(fields, "job")
+		e.chrome(`{"name":"job:%s","ph":"E","ts":%d,"pid":1,"tid":%d,"args":{"abort":true,%s}}`, job, ts, tidCompute, args())
+	case "capture", "capture-miss", "arrive", "ibodrop":
+		e.chrome(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{%s}}`, kind, ts, tidCapture, args())
+		if kind == "arrive" {
+			if occ, ok := field(fields, "occ"); ok {
+				e.chrome(`{"name":"buffer","ph":"C","ts":%d,"pid":1,"args":{"occupancy":%s}}`, ts, occ)
+			}
+		}
+	case "classify", "tx", "ckpt", "rollback":
+		e.chrome(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{%s}}`, kind, ts, tidCompute, args())
+	case "pid":
+		e.chrome(`{"name":"pid","ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{%s}}`, ts, tidController, args())
+		if lam, ok := field(fields, "lambda"); ok {
+			e.chrome(`{"name":"lambda","ph":"C","ts":%d,"pid":1,"args":{"lambda":%s}}`, ts, lam)
+		}
+		if corr, ok := field(fields, "corr"); ok {
+			e.chrome(`{"name":"correction","ph":"C","ts":%d,"pid":1,"args":{"correction":%s}}`, ts, corr)
+		}
+	}
+}
+
+// chrome writes one trace_event entry line, emitting the header (and the
+// process/thread metadata naming the lanes) first.
+func (e *Exporter) chrome(format string, args ...any) {
+	if e.cfg.Chrome == nil || e.err != nil {
+		return
+	}
+	if !e.wroteHeader {
+		e.wroteHeader = true
+		header := `{"displayTimeUnit":"ms","traceEvents":[` + "\n" +
+			`{"name":"process_name","ph":"M","pid":1,"args":{"name":"quetzal-sim"}},` + "\n" +
+			fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"compute"}},`, tidCompute) + "\n" +
+			fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"power"}},`, tidPower) + "\n" +
+			fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"capture"}},`, tidCapture) + "\n" +
+			fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"controller"}}`, tidController)
+		if _, err := io.WriteString(e.cfg.Chrome, header); err != nil {
+			e.err = err
+			return
+		}
+	}
+	if _, err := fmt.Fprintf(e.cfg.Chrome, ",\n"+format, args...); err != nil {
+		e.err = err
+	}
+}
+
+// jsonl writes one event as a single JSON object line, echoing the parsed
+// fields in stream order.
+func (e *Exporter) jsonl(ts int64, kind string, fields [][2]string) {
+	if e.cfg.JSONL == nil || e.err != nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"t_us":%d,"event":%q`, ts, kind)
+	for _, f := range fields {
+		fmt.Fprintf(&b, `,%q:%s`, f[0], jsonValue(f[1]))
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(e.cfg.JSONL, b.String()); err != nil {
+		e.err = err
+	}
+}
+
+// jsonValue renders a k=v value as JSON: booleans and numbers pass through
+// verbatim (preserving the stream's exact float formatting — byte-stability
+// depends on never reformatting), anything else is quoted.
+func jsonValue(v string) string {
+	if v == "true" || v == "false" {
+		return v
+	}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		return v
+	}
+	return strconv.Quote(v)
+}
+
+// parseLine splits "<seconds> <kind> [k=v ...]" into a µs timestamp, the
+// event kind, and the field pairs. Timestamps are converted from the
+// %.6f-second format by digit manipulation, not float arithmetic, so the
+// conversion is exact and platform-independent. Bracketed values
+// ("opts=[0 1]") may contain spaces.
+func parseLine(s string) (int64, string, [][2]string, error) {
+	tokens := splitFields(s)
+	if len(tokens) < 2 {
+		return 0, "", nil, fmt.Errorf("malformed event line %q", s)
+	}
+	ts, err := microseconds(tokens[0])
+	if err != nil {
+		return 0, "", nil, fmt.Errorf("bad timestamp in %q: %v", s, err)
+	}
+	kind := tokens[1]
+	var fields [][2]string
+	for _, tok := range tokens[2:] {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || k == "" {
+			return 0, "", nil, fmt.Errorf("malformed field %q in %q", tok, s)
+		}
+		fields = append(fields, [2]string{k, v})
+	}
+	return ts, kind, fields, nil
+}
+
+// splitFields splits on spaces, joining bracketed groups ("opts=[0 1]").
+func splitFields(s string) []string {
+	raw := strings.Fields(s)
+	var out []string
+	for i := 0; i < len(raw); i++ {
+		tok := raw[i]
+		if strings.Contains(tok, "[") && !strings.Contains(tok, "]") {
+			for i+1 < len(raw) {
+				i++
+				tok += " " + raw[i]
+				if strings.Contains(raw[i], "]") {
+					break
+				}
+			}
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// microseconds converts a "%.6f"-formatted seconds string to integer µs.
+func microseconds(s string) (int64, error) {
+	whole, frac, ok := strings.Cut(s, ".")
+	if !ok || len(frac) != 6 {
+		return 0, fmt.Errorf("timestamp %q is not %%.6f-formatted", s)
+	}
+	w, err := strconv.ParseInt(whole, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseInt(frac, 10, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("timestamp %q has a bad fraction", s)
+	}
+	if w < 0 {
+		return 0, fmt.Errorf("timestamp %q is negative", s)
+	}
+	return w*1_000_000 + f, nil
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleStream exercises every event kind the engine emits, in a
+// lifecycle-valid order (a brownout interrupting a job that later
+// completes, an arrival that overflows the buffer, a PID update).
+const sampleStream = `0.500000 capture different=true interesting=true
+0.600000 arrive seq=0 interesting=true occ=1
+0.700000 pid lambda=0.500000 corr=0.010000
+0.700000 sched seq=0 job=1 opts=[0 1] degraded=false ibo=false
+0.800000 classify seq=0 opt=0 positive=true
+0.900000 brownout
+0.950000 rollback job=1 task=1 left=0.123456 restarts=1
+1.000000 poweron
+1.100000 ckpt job=1 task=1 left=0.100000
+1.200000 tx seq=0 hq=true interesting=true
+1.300000 jobdone seq=0 job=1 spawned=false restarts=1
+1.400000 capture-miss interesting=false
+1.500000 capture different=true interesting=false
+1.600000 ibodrop seq=1 interesting=false
+1.700000 arrive seq=2 interesting=false occ=1
+1.800000 sched seq=2 job=1 opts=[0 1] degraded=false ibo=false
+1.900000 jobdone seq=2 job=1 spawned=false restarts=0
+`
+
+// export runs a stream through a fresh exporter, returning both renderings
+// and the Close error.
+func export(t *testing.T, stream string, chunked bool) (chrome, jsonl string, err error) {
+	t.Helper()
+	var cb, jb strings.Builder
+	reg := NewRegistry()
+	e := NewExporter(ExporterConfig{Chrome: &cb, JSONL: &jb, Metrics: reg})
+	if chunked {
+		// Feed byte-by-byte: line reassembly must not change the output.
+		for i := 0; i < len(stream); i++ {
+			if _, werr := e.Write([]byte{stream[i]}); werr != nil {
+				break
+			}
+		}
+	} else if _, werr := e.Write([]byte(stream)); werr != nil {
+		_ = werr // surfaced again by Close
+	}
+	err = e.Close() // before reading the builders: Close writes the trailer
+	return cb.String(), jb.String(), err
+}
+
+func TestExporterRendersAllKinds(t *testing.T) {
+	chrome, jsonl, err := export(t, sampleStream, false)
+	if err != nil {
+		t.Fatalf("export failed: %v", err)
+	}
+
+	// The Chrome rendering must be valid JSON with µs timestamps.
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if jerr := json.Unmarshal([]byte(chrome), &doc); jerr != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", jerr, chrome)
+	}
+	// 5 metadata + 17 events + 2 occupancy counters + 2 pid counters.
+	if got := len(doc.TraceEvents); got != 26 {
+		t.Errorf("chrome events = %d, want 26\n%s", got, chrome)
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev["name"].(string)]++
+	}
+	for name, want := range map[string]int{
+		"job:1": 4, "off": 2, "capture": 2, "capture-miss": 1, "arrive": 2,
+		"ibodrop": 1, "pid": 1, "lambda": 1, "correction": 1, "buffer": 2,
+		"ckpt": 1, "rollback": 1, "classify": 1, "tx": 1,
+	} {
+		if byName[name] != want {
+			t.Errorf("chrome event %q count = %d, want %d", name, byName[name], want)
+		}
+	}
+	// Timestamp conversion is exact: 0.500000 s → 500000 µs.
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "capture" {
+			if ts := ev["ts"].(float64); ts != 500000 {
+				t.Errorf("first capture ts = %v µs, want 500000", ts)
+			}
+			break
+		}
+	}
+
+	// The JSONL rendering is one valid object per event line.
+	lines := strings.Split(strings.TrimSuffix(jsonl, "\n"), "\n")
+	if len(lines) != 17 {
+		t.Fatalf("jsonl lines = %d, want 17", len(lines))
+	}
+	var first map[string]any
+	if jerr := json.Unmarshal([]byte(lines[0]), &first); jerr != nil {
+		t.Fatalf("jsonl line not valid JSON: %v\n%s", jerr, lines[0])
+	}
+	if first["t_us"].(float64) != 500000 || first["event"] != "capture" ||
+		first["interesting"] != true {
+		t.Errorf("jsonl first line = %v", first)
+	}
+	// Bracketed option vectors survive as strings.
+	var sched map[string]any
+	if jerr := json.Unmarshal([]byte(lines[3]), &sched); jerr != nil {
+		t.Fatal(jerr)
+	}
+	if sched["opts"] != "[0 1]" {
+		t.Errorf("sched opts = %v, want the literal string \"[0 1]\"", sched["opts"])
+	}
+}
+
+// TestExporterByteStableUnderChunking pins that output depends only on the
+// stream content, not on Write-call boundaries.
+func TestExporterByteStableUnderChunking(t *testing.T) {
+	c1, j1, err1 := export(t, sampleStream, false)
+	c2, j2, err2 := export(t, sampleStream, true)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("export errors: %v / %v", err1, err2)
+	}
+	if c1 != c2 || j1 != j2 {
+		t.Error("exporter output changed with Write chunking")
+	}
+}
+
+func TestExporterCountsEvents(t *testing.T) {
+	var cb strings.Builder
+	reg := NewRegistry()
+	e := NewExporter(ExporterConfig{Chrome: &cb, Metrics: reg})
+	if _, err := e.Write([]byte(sampleStream)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Events(); got != 17 {
+		t.Errorf("Events() = %d, want 17", got)
+	}
+	if got := reg.Counter("trace_events_total").Value(); got != 17 {
+		t.Errorf("trace_events_total = %d, want 17", got)
+	}
+	if got := reg.Counter("trace_capture_events_total").Value(); got != 2 {
+		t.Errorf("trace_capture_events_total = %d, want 2", got)
+	}
+}
+
+// TestExporterClosesOpenSpans: a run may end browned out or mid-job; the
+// trailer must close both spans so the trace stays well-formed.
+func TestExporterClosesOpenSpans(t *testing.T) {
+	stream := "0.100000 arrive seq=0 interesting=true occ=1\n" +
+		"0.200000 sched seq=0 job=2 opts=[0] degraded=false ibo=false\n" +
+		"0.300000 brownout\n"
+	chrome, _, err := export(t, stream, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome, `"end":"run-end"`) {
+		t.Errorf("open job span not closed at end of run:\n%s", chrome)
+	}
+	if got := strings.Count(chrome, `"name":"off"`); got != 2 {
+		t.Errorf("open off span not closed: %d off events, want 2\n%s", got, chrome)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if jerr := json.Unmarshal([]byte(chrome), &doc); jerr != nil {
+		t.Fatalf("trailer left invalid JSON: %v", jerr)
+	}
+}
+
+// TestExporterCatchesDroppedEvent is the mutation test the tentpole asks
+// for: deleting a sequenced line (arrival, drop, sched, completion) from an
+// otherwise valid stream must surface as a Close error, so a silently lossy
+// instrumentation path cannot produce a plausible trace. The stream's final
+// event is exempt: a drop at the very end is indistinguishable from the run
+// simply ending there, which is why the check is a sequence audit rather
+// than a completeness proof.
+func TestExporterCatchesDroppedEvent(t *testing.T) {
+	lines := strings.SplitAfter(sampleStream, "\n")
+	dropped := 0
+	for i, l := range lines[:len(lines)-1] {
+		if i == len(lines)-2 {
+			break // trailing event: undetectable by construction
+		}
+		if !strings.Contains(l, " arrive ") && !strings.Contains(l, " ibodrop ") &&
+			!strings.Contains(l, " sched ") && !strings.Contains(l, " jobdone ") {
+			continue
+		}
+		dropped++
+		mutated := strings.Join(append(append([]string{}, lines[:i]...), lines[i+1:]...), "")
+		if _, _, err := export(t, mutated, false); err == nil {
+			t.Errorf("dropping line %d (%q) went undetected", i, strings.TrimSpace(l))
+		}
+	}
+	if dropped != 6 {
+		t.Fatalf("mutation test dropped %d lines, want 6 (stream changed?)", dropped)
+	}
+}
+
+func TestExporterStreamErrors(t *testing.T) {
+	cases := []struct {
+		name, stream, wantErr string
+	}{
+		{"backwards-time",
+			"1.000000 capture different=true interesting=true\n0.900000 brownout\n",
+			"timestamp went backwards"},
+		{"seq-gap",
+			"0.100000 arrive seq=1 interesting=true occ=1\n",
+			"sequence gap"},
+		{"orphan-jobdone",
+			"0.100000 jobdone seq=0 job=1 spawned=false restarts=0\n",
+			"without matching sched"},
+		{"sched-unknown-seq",
+			"0.100000 sched seq=5 job=1 opts=[0] degraded=false ibo=false\n",
+			"unknown arrival seq"},
+		{"double-sched",
+			"0.100000 arrive seq=0 interesting=true occ=1\n" +
+				"0.200000 sched seq=0 job=1 opts=[0] degraded=false ibo=false\n" +
+				"0.300000 sched seq=0 job=1 opts=[0] degraded=false ibo=false\n",
+			"still open"},
+		{"double-brownout",
+			"0.100000 brownout\n0.200000 brownout\n",
+			"already off"},
+		{"orphan-poweron",
+			"0.100000 poweron\n",
+			"already on"},
+		{"unknown-kind",
+			"0.100000 frobnicate x=1\n",
+			"unknown event kind"},
+		{"bad-timestamp",
+			"0.1 capture different=true interesting=true\n",
+			"not %.6f-formatted"},
+		{"malformed-field",
+			"0.100000 capture different\n",
+			"malformed field"},
+		{"truncated-stream",
+			"0.100000 capture different=true interesting=true\n0.200000 brow",
+			"ended mid-line"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := export(t, tc.stream, false)
+			if err == nil {
+				t.Fatalf("stream accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestExporterErrorSticky: after a stream error, Write keeps reporting it
+// and no further output is rendered.
+func TestExporterErrorSticky(t *testing.T) {
+	var cb strings.Builder
+	e := NewExporter(ExporterConfig{Chrome: &cb})
+	if _, err := e.Write([]byte("0.100000 frobnicate\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+	before := cb.String()
+	if _, err := e.Write([]byte("0.200000 capture different=true interesting=true\n")); err == nil {
+		t.Fatal("error not sticky across Write calls")
+	}
+	if cb.String() != before {
+		t.Error("output rendered after a stream error")
+	}
+	if e.Close() == nil {
+		t.Fatal("Close lost the stream error")
+	}
+}
+
+func TestJSONValue(t *testing.T) {
+	for in, want := range map[string]string{
+		"true":     "true",
+		"false":    "false",
+		"12":       "12",
+		"0.500000": "0.500000",
+		"-3.5":     "-3.5",
+		"[0 1]":    `"[0 1]"`,
+		"abc":      `"abc"`,
+	} {
+		if got := jsonValue(in); got != want {
+			t.Errorf("jsonValue(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

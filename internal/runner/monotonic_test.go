@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEventStreamMonotonic is ISSUE 4's ledger-timing fix pin. Before the
+// fix, the counter snapshot (under p.mu) and the OnEvent emit (under
+// p.evMu) were separate critical sections, so two completions could
+// snapshot in one order and emit in the other — the serialized event
+// stream then showed Executed+CacheHits jumping backwards. Snapshot and
+// emit now share the evMu section: across the stream the total must
+// increase by exactly one per event, and per-event timing fields must be
+// non-negative.
+func TestEventStreamMonotonic(t *testing.T) {
+	type seen struct {
+		executed, hits int
+		dur, qwait     time.Duration
+	}
+	var (
+		mu     sync.Mutex
+		stream []seen
+	)
+	// The reorder needs completions racing between snapshot and emit;
+	// force real scheduler parallelism even on single-CPU CI runners, and
+	// repeat the whole wave several times — the window is a few
+	// instructions wide, so one wave only catches it sometimes.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	rng := rand.New(rand.NewSource(7))
+	for wave := 0; wave < 10; wave++ {
+		stream = stream[:0]
+		p := New(func(_ context.Context, k int) (int, error) {
+			return k, nil // instant completions maximize snapshot/emit contention
+		}, Config[int]{Workers: 16, OnEvent: func(ev Event[int]) {
+			// OnEvent is serialized; the extra mutex only pairs it with the
+			// final read below.
+			mu.Lock()
+			stream = append(stream, seen{ev.Executed, ev.CacheHits, ev.Duration, ev.QueueWait})
+			mu.Unlock()
+		}})
+
+		// Many near-simultaneous requests with heavy key duplication, so
+		// cache hits and executions complete back-to-back and interleave.
+		keys := make([]int, 3000)
+		for i := range keys {
+			keys[i] = rng.Intn(150)
+		}
+		if _, err := p.Collect(context.Background(), keys); err != nil {
+			t.Fatal(err)
+		}
+
+		mu.Lock()
+		if len(stream) != len(keys) {
+			t.Fatalf("event stream has %d entries, want %d", len(stream), len(keys))
+		}
+		for i, ev := range stream {
+			if total := ev.executed + ev.hits; total != i+1 {
+				t.Fatalf("event %d: executed %d + hits %d = %d, want %d (stream not monotonic)",
+					i, ev.executed, ev.hits, total, i+1)
+			}
+			if ev.dur < 0 || ev.qwait < 0 {
+				t.Fatalf("event %d: negative timing (dur %v, queue wait %v)", i, ev.dur, ev.qwait)
+			}
+		}
+		mu.Unlock()
+
+		l := p.Ledger()
+		if l.Executed+l.CacheHits != len(keys) {
+			t.Errorf("ledger totals %d+%d, want %d", l.Executed, l.CacheHits, len(keys))
+		}
+		if l.Latency == nil || l.Latency.Count() != uint64(l.Executed) {
+			t.Errorf("latency histogram count = %v, want %d executions", l.Latency, l.Executed)
+		}
+		if l.RunTime < 0 || l.QueueWait < 0 {
+			t.Errorf("ledger timing negative: run %v, queue wait %v", l.RunTime, l.QueueWait)
+		}
+	}
+}
+
+// TestLedgerLatencySnapshot: the histogram returned by Ledger is a clone —
+// observing into it must not corrupt the pool's own distribution.
+func TestLedgerLatencySnapshot(t *testing.T) {
+	p := New(func(_ context.Context, k int) (int, error) { return k, nil },
+		Config[int]{Workers: 2})
+	if _, err := p.Collect(context.Background(), []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Ledger().Latency
+	if snap.Count() != 3 {
+		t.Fatalf("latency count = %d, want 3", snap.Count())
+	}
+	snap.Observe(1e6)
+	if got := p.Ledger().Latency.Count(); got != 3 {
+		t.Errorf("pool latency count = %d after mutating the snapshot, want 3", got)
+	}
+}

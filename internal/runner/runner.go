@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"quetzal/internal/obs"
 )
 
 // Func computes the value for one key. It must be safe for concurrent use
@@ -31,7 +33,12 @@ type Event[K comparable] struct {
 	Cached   bool          // served from the memo or joined an in-flight run
 	Err      error         // the run's (wrapped) error, if any
 	Duration time.Duration // execution wall time; 0 for cache hits
+	// QueueWait is how long the call waited for a worker slot; 0 for
+	// cache hits and joined calls.
+	QueueWait time.Duration
 	// Ledger counters after this event, for "N done" style progress lines.
+	// Snapshot and emit are atomic: across the serialized OnEvent stream
+	// Executed+CacheHits increases by exactly one per event.
 	Executed  int
 	CacheHits int
 }
@@ -53,7 +60,12 @@ type Ledger struct {
 	CacheHits int           // requests served without executing
 	Errors    int           // executions that returned an error
 	RunTime   time.Duration // summed execution wall time across workers
+	QueueWait time.Duration // summed time executed runs waited for a slot
 	Elapsed   time.Duration // first submission to latest completion
+	// Latency holds the distribution of per-run execution wall times in
+	// seconds (obs.LatencyBuckets layout); snapshots from Pool.Ledger are
+	// independent clones. Nil until the pool has run something.
+	Latency *obs.Histogram
 }
 
 // String renders the ledger as a one-line summary.
@@ -66,10 +78,15 @@ func (l Ledger) String() string {
 // Pool executes runs at most once per key. Construct with New; all methods
 // are safe for concurrent use.
 type Pool[K comparable, V any] struct {
-	fn   Func[K, V]
-	cfg  Config[K]
-	sem  chan struct{}
-	evMu sync.Mutex // serializes OnEvent callbacks
+	fn  Func[K, V]
+	cfg Config[K]
+	sem chan struct{}
+	lat *obs.Histogram // per-run execution latency, seconds
+
+	// evMu serializes ledger-snapshot + OnEvent pairs; it is always taken
+	// before mu, so each emitted Event carries the counters as of exactly
+	// its own completion (the stream is monotonic, +1 per event).
+	evMu sync.Mutex
 
 	mu     sync.Mutex
 	calls  map[K]*call[V]
@@ -96,6 +113,7 @@ func New[K comparable, V any](fn Func[K, V], cfg Config[K]) *Pool[K, V] {
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.Workers),
 		calls: make(map[K]*call[V]),
+		lat:   obs.NewHistogram(obs.LatencyBuckets()),
 	}
 }
 
@@ -129,6 +147,7 @@ func (p *Pool[K, V]) Do(ctx context.Context, key K) (V, error) {
 	p.mu.Unlock()
 
 	// Acquire a worker slot (bounded concurrency).
+	enqueued := time.Now()
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -136,6 +155,7 @@ func (p *Pool[K, V]) Do(ctx context.Context, key K) (V, error) {
 		p.abandon(key, c)
 		return zero, c.err
 	}
+	qwait := time.Since(enqueued)
 	defer func() { <-p.sem }()
 
 	runCtx := ctx
@@ -159,19 +179,25 @@ func (p *Pool[K, V]) Do(ctx context.Context, key K) (V, error) {
 		return zero, err
 	}
 	c.val, c.err = v, err
+	p.lat.Observe(took.Seconds())
 
+	p.evMu.Lock()
 	p.mu.Lock()
 	p.ledger.Executed++
 	if err != nil {
 		p.ledger.Errors++
 	}
 	p.ledger.RunTime += took
+	p.ledger.QueueWait += qwait
 	p.last = time.Now()
-	ev := Event[K]{Key: key, Err: err, Duration: took,
+	ev := Event[K]{Key: key, Err: err, Duration: took, QueueWait: qwait,
 		Executed: p.ledger.Executed, CacheHits: p.ledger.CacheHits}
 	p.mu.Unlock()
 	close(c.done)
-	p.emit(ev)
+	if p.cfg.OnEvent != nil {
+		p.cfg.OnEvent(ev)
+	}
+	p.evMu.Unlock()
 	return v, err
 }
 
@@ -199,7 +225,8 @@ func (p *Pool[K, V]) Collect(ctx context.Context, keys []K) ([]V, error) {
 	return vals, nil
 }
 
-// Ledger returns a snapshot of the pool's work summary.
+// Ledger returns a snapshot of the pool's work summary. The Latency
+// histogram is an independent clone; mutating it does not affect the pool.
 func (p *Pool[K, V]) Ledger() Ledger {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -211,18 +238,26 @@ func (p *Pool[K, V]) Ledger() Ledger {
 	default:
 		l.Elapsed = p.last.Sub(p.first)
 	}
+	l.Latency = p.lat.Clone()
 	return l
 }
 
-// noteHit records a cache hit and fires the progress callback.
+// noteHit records a cache hit and fires the progress callback. Counter
+// snapshot and emit share the evMu critical section (lock order evMu→mu,
+// matching Do) so concurrent completions cannot reorder between snapshot
+// and callback.
 func (p *Pool[K, V]) noteHit(ev Event[K]) {
+	p.evMu.Lock()
 	p.mu.Lock()
 	p.ledger.CacheHits++
 	p.last = time.Now()
 	ev.Executed = p.ledger.Executed
 	ev.CacheHits = p.ledger.CacheHits
 	p.mu.Unlock()
-	p.emit(ev)
+	if p.cfg.OnEvent != nil {
+		p.cfg.OnEvent(ev)
+	}
+	p.evMu.Unlock()
 }
 
 // abandon unregisters a call that died of cancellation, releasing any
@@ -233,14 +268,4 @@ func (p *Pool[K, V]) abandon(key K, c *call[V]) {
 	delete(p.calls, key)
 	p.mu.Unlock()
 	close(c.done)
-}
-
-// emit fires the progress callback, serialized.
-func (p *Pool[K, V]) emit(ev Event[K]) {
-	if p.cfg.OnEvent == nil {
-		return
-	}
-	p.evMu.Lock()
-	defer p.evMu.Unlock()
-	p.cfg.OnEvent(ev)
 }

@@ -1,0 +1,129 @@
+package sim_test
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"quetzal/internal/sim"
+	"quetzal/internal/simgen"
+)
+
+// The trace-export golden layer: the obs.Exporter's Chrome trace_event JSON
+// and JSONL renderings of each golden scenario are sha256-pinned exactly
+// like the raw event streams in golden.json. The exporter derives its
+// output deterministically from the event-log stream, so these fixtures
+// move only when the stream itself moves (regenerate both together) or
+// when the export format changes. Regenerate with
+//
+//	go test ./internal/sim/ -run TestGoldenTraceExports -update
+//
+// (the shared -update flag from golden_test.go).
+const goldenTracePath = "testdata/golden_trace.json"
+
+// traceFingerprint runs one scenario with both export sinks attached and
+// fingerprints each rendering.
+func traceFingerprint(t *testing.T, p simgen.Params, engine sim.EngineKind) (chrome, jsonl goldenEntry) {
+	t.Helper()
+	cfg, err := p.Config(engine)
+	if err != nil {
+		t.Fatalf("%v: %v", p, err)
+	}
+	cw := &lineCountingHash{h: sha256.New()}
+	jw := &lineCountingHash{h: sha256.New()}
+	cb, jb := bufio.NewWriter(cw), bufio.NewWriter(jw)
+	cfg.Trace = cb
+	cfg.TraceJSONL = jb
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", p, err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("%v: %v", p, err)
+	}
+	if err := cb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chrome = goldenEntry{SHA256: hex.EncodeToString(cw.h.Sum(nil)), Lines: cw.lines}
+	jsonl = goldenEntry{SHA256: hex.EncodeToString(jw.h.Sum(nil)), Lines: jw.lines}
+	return chrome, jsonl
+}
+
+func TestGoldenTraceExports(t *testing.T) {
+	got := map[string]goldenEntry{}
+	for _, sc := range goldenScenarios {
+		p := sc.p.Normalize()
+		for _, engine := range []sim.EngineKind{sim.FixedIncrement, sim.EventDriven} {
+			chrome, jsonl := traceFingerprint(t, p, engine)
+			got[fmt.Sprintf("%s/%s/chrome", sc.name, engine)] = chrome
+			got[fmt.Sprintf("%s/%s/jsonl", sc.name, engine)] = jsonl
+		}
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fingerprints to %s", len(got), goldenTracePath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("no golden file (%v) — run: go test ./internal/sim/ -run TestGoldenTraceExports -update", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", goldenTracePath, err)
+	}
+
+	keys := make([]string, 0, len(got))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: no committed fingerprint — run with -update and commit the diff", k)
+			continue
+		}
+		if g := got[k]; g != w {
+			t.Errorf("%s: trace export changed: %d lines sha %.12s…, committed %d lines sha %.12s…\n"+
+				"  if this change is intended, rerun with -update and commit testdata/golden_trace.json alongside it",
+				k, g.Lines, g.SHA256, w.Lines, w.SHA256)
+		}
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("%s: committed fingerprint has no scenario (stale entry in %s)", k, goldenTracePath)
+		}
+	}
+}
+
+// TestGoldenTraceDeterminism pins the property the export fixtures depend
+// on: tracing the same scenario twice yields byte-identical renderings.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	p := goldenScenarios[2].p.Normalize()
+	c1, j1 := traceFingerprint(t, p, sim.FixedIncrement)
+	c2, j2 := traceFingerprint(t, p, sim.FixedIncrement)
+	if c1 != c2 || j1 != j2 {
+		t.Fatalf("trace export not deterministic: %+v/%+v vs %+v/%+v", c1, j1, c2, j2)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"quetzal/internal/invariant"
 	"quetzal/internal/metrics"
 	"quetzal/internal/model"
+	"quetzal/internal/obs"
 	"quetzal/internal/trace"
 
 	"quetzal/internal/core"
@@ -85,10 +86,24 @@ type Config struct {
 
 	// EventLog, when non-nil, receives one line per discrete simulation
 	// event (capture, arrival, IBO drop, scheduling decision, classify
-	// verdict, transmission, job completion/abort, power transitions).
-	// The golden-trace regression layer hashes this stream to fingerprint
-	// a run's full behavior; it is also readable for debugging.
+	// verdict, transmission, job completion/abort, power transitions,
+	// checkpoint/rollback, PID update). The golden-trace regression layer
+	// hashes this stream to fingerprint a run's full behavior; it is also
+	// readable for debugging.
 	EventLog io.Writer
+
+	// Trace, when non-nil, receives the run rendered as Chrome trace_event
+	// JSON (load in chrome://tracing or Perfetto); TraceJSONL receives the
+	// same events as JSON objects, one per line. Both are derived from the
+	// event-log stream by an obs.Exporter, which also audits it: a dropped
+	// or reordered event fails the run at the end.
+	Trace      io.Writer
+	TraceJSONL io.Writer
+
+	// Metrics, when non-nil, collects run metrics: per-step samples via an
+	// obs.MachineObserver (step lengths, store level, buffer occupancy) and
+	// the end-of-run aggregates. Dump with Registry.WriteText.
+	Metrics *obs.Registry
 
 	Environment string // label copied into the results
 }
@@ -139,14 +154,15 @@ const (
 // an engine.Stepper for the configured EngineKind, and observers for the
 // timeline and invariant checks.
 type Simulator struct {
-	m       *engine.Machine
-	stepper engine.Stepper
-	inv     *invariant.Checker
+	m        *engine.Machine
+	stepper  engine.Stepper
+	inv      *invariant.Checker
+	exporter *obs.Exporter
 }
 
 // New validates the configuration and builds a Simulator.
 func New(cfg Config) (*Simulator, error) {
-	m, err := engine.New(engine.Config{
+	engCfg := engine.Config{
 		Profile:            cfg.Profile,
 		App:                cfg.App,
 		Controller:         cfg.Controller,
@@ -164,13 +180,30 @@ func New(cfg Config) (*Simulator, error) {
 		TexeJitterOverride: cfg.TexeJitterOverride,
 		EventLog:           cfg.EventLog,
 		Environment:        cfg.Environment,
-	})
+	}
+	var exporter *obs.Exporter
+	if cfg.Trace != nil || cfg.TraceJSONL != nil {
+		exporter = obs.NewExporter(obs.ExporterConfig{
+			Chrome:  cfg.Trace,
+			JSONL:   cfg.TraceJSONL,
+			Metrics: cfg.Metrics,
+		})
+		if engCfg.EventLog != nil {
+			engCfg.EventLog = io.MultiWriter(engCfg.EventLog, exporter)
+		} else {
+			engCfg.EventLog = exporter
+		}
+	}
+	m, err := engine.New(engCfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{m: m, stepper: engine.StepperFor(cfg.Engine)}
+	s := &Simulator{m: m, stepper: engine.StepperFor(cfg.Engine), exporter: exporter}
 	if cfg.Timeline != nil {
 		m.Observe(engine.NewTimelineWriter(cfg.Timeline, cfg.TimelineInterval))
+	}
+	if cfg.Metrics != nil {
+		m.Observe(obs.NewMachineObserver(cfg.Metrics))
 	}
 	if cfg.Checks != ChecksOff {
 		s.inv = invariant.New(invariant.Config{})
@@ -189,7 +222,15 @@ func (s *Simulator) Run() (metrics.Results, error) {
 // error noting the simulated time reached. Sweep drivers use this for
 // per-run timeouts and ctrl-C.
 func (s *Simulator) RunContext(ctx context.Context) (metrics.Results, error) {
-	return s.m.Run(ctx, s.stepper)
+	res, err := s.m.Run(ctx, s.stepper)
+	if s.exporter != nil {
+		// Close flushes the Chrome JSON trailer and surfaces the stream
+		// audit: a dropped or reordered event line fails the run.
+		if cerr := s.exporter.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return res, err
 }
 
 // Machine exposes the underlying engine machine, for tests that hook or
