@@ -1,0 +1,107 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	c, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.listen != ":8080" || c.events != 300 || c.seed != 42 ||
+		c.mcu != "apollo4" || c.engine != "fixed" ||
+		c.runTimeout != 60*time.Second || c.drainTimeout != 30*time.Second {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if err := c.validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+}
+
+func TestParseFlagsRejectsPositionalArgs(t *testing.T) {
+	if _, err := parseFlags([]string{"-listen", ":0", "stray"}, io.Discard); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	dir := t.TempDir()
+	base := func() appConfig {
+		c, err := parseFlags(nil, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*appConfig)
+		wantErr string // substring; empty → must pass
+	}{
+		{name: "defaults", mutate: func(*appConfig) {}},
+		{name: "event engine", mutate: func(c *appConfig) { c.engine = "event" }},
+		{name: "msp430", mutate: func(c *appConfig) { c.mcu = "msp430" }},
+		{name: "metrics path", mutate: func(c *appConfig) { c.cli.Metrics = filepath.Join(dir, "m.txt") }},
+		{name: "bad listen", mutate: func(c *appConfig) { c.listen = "8080" }, wantErr: "-listen"},
+		{name: "negative workers", mutate: func(c *appConfig) { c.workers = -1 }, wantErr: "-workers"},
+		{name: "negative queue", mutate: func(c *appConfig) { c.maxQueue = -2 }, wantErr: "-max-queue"},
+		{name: "zero run timeout", mutate: func(c *appConfig) { c.runTimeout = 0 }, wantErr: "-run-timeout"},
+		{name: "zero drain timeout", mutate: func(c *appConfig) { c.drainTimeout = 0 }, wantErr: "-drain-timeout"},
+		{name: "zero events", mutate: func(c *appConfig) { c.events = 0 }, wantErr: "-events"},
+		{name: "too many events", mutate: func(c *appConfig) { c.events = 1 << 30 }, wantErr: "-events"},
+		{name: "bad mcu", mutate: func(c *appConfig) { c.mcu = "z80" }, wantErr: "mcu"},
+		{name: "bad engine", mutate: func(c *appConfig) { c.engine = "warp" }, wantErr: "engine"},
+		{
+			name:    "metrics dir missing",
+			mutate:  func(c *appConfig) { c.cli.Metrics = filepath.Join(dir, "nope", "m.txt") },
+			wantErr: "metrics",
+		},
+		{name: "bad pprof", mutate: func(c *appConfig) { c.cli.Pprof = "localhost" }, wantErr: "pprof"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base()
+			tc.mutate(&c)
+			err := c.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestResolveMCU(t *testing.T) {
+	for _, name := range []string{"apollo4", "msp430", "stm32g0"} {
+		if _, err := resolveMCU(name); err != nil {
+			t.Errorf("resolveMCU(%q): %v", name, err)
+		}
+	}
+	if _, err := resolveMCU("z80"); err == nil {
+		t.Error("resolveMCU(z80): want error")
+	}
+}
+
+func TestBuildServerAppliesConfig(t *testing.T) {
+	c, err := parseFlags([]string{"-events", "40", "-seed", "7", "-engine", "event"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(c, func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+	c.mcu = "z80"
+	if _, err := buildServer(c, func(string, ...any) {}); err == nil {
+		t.Fatal("buildServer accepted an unknown mcu")
+	}
+}

@@ -1,0 +1,236 @@
+// Command quetzald serves the simulator as a long-lived HTTP JSON API.
+// Runs execute on a single-flight, memoizing worker pool: identical
+// concurrent requests coalesce into one simulation, repeats are served from
+// the memo, and an admission gate sheds work it predicts cannot meet its
+// deadline (429 + Retry-After) using the same Little's-Law discipline the
+// paper uses to predict input-buffer overflow on the device.
+//
+// Usage:
+//
+//	quetzald [-listen HOST:PORT] [-workers N] [-run-timeout DUR]
+//	         [-max-queue N] [-events N] [-seed N] [-mcu apollo4|msp430|stm32g0]
+//	         [-engine fixed|event] [-drain-timeout DUR]
+//	         [-metrics FILE.txt] [-pprof HOST:PORT]
+//
+// Endpoints:
+//
+//	POST /v1/run       execute one run        {"system":"qz","env":"crowded",...}
+//	POST /v1/sweep     execute a batch        {"runs":[{...},{...}]}
+//	GET  /v1/runs/{id} look up a run record
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      counters, gauges and histograms (text format)
+//
+// On SIGTERM or SIGINT the server drains: health flips to 503, new API work
+// is refused, in-flight runs finish (up to -drain-timeout), and the final
+// ledger is logged — with -metrics, also flushed to disk.
+//
+// Example:
+//
+//	quetzald -listen :8080 -engine event &
+//	curl -s localhost:8080/v1/run -d '{"system":"qz","env":"crowded","events":300}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"quetzal/internal/device"
+	"quetzal/internal/experiments"
+	"quetzal/internal/obs"
+	"quetzal/internal/service"
+)
+
+// appConfig is the parsed flag set; separated from main for table tests.
+type appConfig struct {
+	listen       string
+	workers      int
+	runTimeout   time.Duration
+	maxQueue     int
+	events       int
+	seed         int64
+	mcu          string
+	engine       string
+	drainTimeout time.Duration
+	cli          obs.CLI
+}
+
+// parseFlags builds the appConfig from args (without the program name).
+func parseFlags(args []string, stderr io.Writer) (appConfig, error) {
+	var c appConfig
+	fs := flag.NewFlagSet("quetzald", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&c.listen, "listen", ":8080", "HTTP listen address")
+	fs.IntVar(&c.workers, "workers", 0, "concurrent simulations (0 = one per CPU)")
+	fs.DurationVar(&c.runTimeout, "run-timeout", 60*time.Second, "per-request execution budget")
+	fs.IntVar(&c.maxQueue, "max-queue", 0, "admission queue bound (0 = 4x workers)")
+	fs.IntVar(&c.events, "events", 300, "default number of sensing events per run")
+	fs.Int64Var(&c.seed, "seed", 42, "default trace and classifier seed")
+	fs.StringVar(&c.mcu, "mcu", "apollo4", "device profile: apollo4, msp430 or stm32g0")
+	fs.StringVar(&c.engine, "engine", "fixed", "default engine: fixed or event")
+	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight runs")
+	fs.StringVar(&c.cli.Metrics, "metrics", "", "flush a metrics text dump to this file on shutdown")
+	fs.StringVar(&c.cli.Pprof, "pprof", "", "serve net/http/pprof on this host:port")
+	if err := fs.Parse(args); err != nil {
+		return appConfig{}, err
+	}
+	if fs.NArg() > 0 {
+		return appConfig{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return c, nil
+}
+
+// validate rejects unusable configurations before any socket opens.
+func (c appConfig) validate() error {
+	if _, _, err := net.SplitHostPort(c.listen); err != nil {
+		return fmt.Errorf("-listen: %q is not a host:port address: %v", c.listen, err)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", c.workers)
+	}
+	if c.maxQueue < 0 {
+		return fmt.Errorf("-max-queue must be >= 0, got %d", c.maxQueue)
+	}
+	if c.runTimeout <= 0 {
+		return fmt.Errorf("-run-timeout must be positive, got %v", c.runTimeout)
+	}
+	if c.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", c.drainTimeout)
+	}
+	if c.events < 1 || c.events > experiments.MaxSpecEvents {
+		return fmt.Errorf("-events must be in [1, %d], got %d", experiments.MaxSpecEvents, c.events)
+	}
+	if _, err := resolveMCU(c.mcu); err != nil {
+		return err
+	}
+	if _, err := experiments.ParseEngineKind(c.engine); err != nil {
+		return err
+	}
+	return c.cli.Validate()
+}
+
+// resolveMCU maps the -mcu flag to a device profile.
+func resolveMCU(name string) (device.Profile, error) {
+	switch name {
+	case "apollo4":
+		return device.Apollo4(), nil
+	case "msp430":
+		return device.MSP430(), nil
+	case "stm32g0":
+		return device.STM32G0(), nil
+	default:
+		return device.Profile{}, fmt.Errorf("unknown mcu %q", name)
+	}
+}
+
+// buildServer assembles the service around the configured default setup.
+func buildServer(c appConfig, logf func(string, ...any)) (*service.Server, error) {
+	setup := experiments.DefaultSetup()
+	setup.NumEvents = c.events
+	setup.Seed = c.seed
+	profile, err := resolveMCU(c.mcu)
+	if err != nil {
+		return nil, err
+	}
+	setup.Profile = profile
+	engine, err := experiments.ParseEngineKind(c.engine)
+	if err != nil {
+		return nil, err
+	}
+	setup.Engine = engine
+	return service.New(service.Config{
+		Setup:      setup,
+		Workers:    c.workers,
+		RunTimeout: c.runTimeout,
+		MaxQueue:   c.maxQueue,
+		Logf:       logf,
+	}), nil
+}
+
+// run owns the server lifecycle: listen, serve until ctx is cancelled (the
+// signal), then drain. It returns nil only after a clean drain.
+func run(ctx context.Context, c appConfig, stderr io.Writer) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	}
+	s, err := buildServer(c, logf)
+	if err != nil {
+		return err
+	}
+
+	if addr, stop, err := c.cli.StartPprof(); err != nil {
+		return err
+	} else if addr != "" {
+		defer stop()
+		logf("quetzald: pprof on http://%s/debug/pprof/", addr)
+	}
+
+	ln, err := net.Listen("tcp", c.listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	logf("quetzald: listening on %s (workers=%d queue=%d run-timeout=%v)",
+		ln.Addr(), c.workers, c.maxQueue, c.runTimeout)
+
+	select {
+	case err := <-serveErr:
+		return err // the listener died before any shutdown signal
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work, let in-flight runs finish, then close the
+	// listener. The drain budget covers both phases.
+	logf("quetzald: draining (budget %v)", c.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+
+	if c.cli.Metrics != "" {
+		if err := s.WriteMetrics(c.cli.Metrics); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	l := s.Ledger()
+	logf("quetzald: drained; ledger: %d executed, %d cache hits, %d errors",
+		l.Executed, l.CacheHits, l.Errors)
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, cfg, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+package main
+
+// In-process lifecycle test: run() on a random port, real HTTP requests
+// against a real simulation, then a cancelled context standing in for
+// SIGTERM. This is the same path the CI smoke job exercises from the shell.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunServesAndDrains(t *testing.T) {
+	// Grab a free port; run() needs a concrete -listen address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	cfg, err := parseFlags([]string{
+		"-listen", addr,
+		"-engine", "event",
+		"-events", "40",
+		"-metrics", metricsPath,
+		"-drain-timeout", "10s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, cfg, io.Discard) }()
+
+	base := "http://" + addr
+	waitForServer(t, base)
+
+	// One real simulation over the wire.
+	resp, err := http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"system":"qz","env":"crowded"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/run = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Status  string          `json:"status"`
+		Results json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.Status != "done" || len(out.Results) == 0 {
+		t.Fatalf("bad run response: %v / %s", err, body)
+	}
+
+	// The repeat is a memo hit, visible in /metrics.
+	resp, err = http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"system":"qz","env":"crowded"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"quetzald_runs_executed_total 1",
+		"quetzald_run_cache_hits_total 1",
+	} {
+		if !strings.Contains(string(met), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, met)
+		}
+	}
+
+	// "SIGTERM": cancel the context; run() must drain and return nil.
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+
+	// The shutdown flush wrote the same counters the live scrape showed.
+	flushed, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics flush missing: %v", err)
+	}
+	if !strings.Contains(string(flushed), "quetzald_runs_executed_total 1") {
+		t.Errorf("flushed metrics disagree with the run:\n%s", flushed)
+	}
+
+	// The port is released after drain.
+	if ln, err := net.Listen("tcp", addr); err == nil {
+		ln.Close()
+	} else {
+		t.Errorf("listen address still held after run returned: %v", err)
+	}
+}
+
+func TestRunRefusesBadListenAddress(t *testing.T) {
+	// Occupy a port so run()'s own bind must fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cfg, err := parseFlags([]string{"-listen", ln.Addr().String()}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := run(ctx, cfg, io.Discard); err == nil {
+		t.Fatal("run bound an already-occupied address (or returned nil without serving)")
+	}
+}
+
+func waitForServer(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

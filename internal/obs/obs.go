@@ -14,8 +14,10 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -146,4 +148,17 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ServeHTTP renders the registry in the text format, so a registry mounts
+// directly as a /metrics endpoint. The dump is buffered first: a mid-render
+// failure becomes a clean 500 instead of a torn 200 body.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		http.Error(w, "metrics: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes()) //nolint:errcheck // client disconnects are not actionable
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -121,5 +122,39 @@ func TestAddHistogram(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "run_latency_seconds_count 1") {
 		t.Errorf("external histogram missing from dump:\n%s", sb.String())
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("quetzald_runs_executed_total").Add(3)
+	r.Gauge("quetzald_queue_depth").Set(2)
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE quetzald_runs_executed_total counter",
+		"quetzald_runs_executed_total 3",
+		"quetzald_queue_depth 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %q:\n%s", want, body)
+		}
+	}
+
+	// The handler must agree byte-for-byte with WriteText: one format.
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if body != sb.String() {
+		t.Error("ServeHTTP body differs from WriteText output")
 	}
 }

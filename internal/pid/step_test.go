@@ -1,0 +1,141 @@
+package pid
+
+// Closed-loop step-response tests. In the runtime the controller's output
+// is *added to each new E[S] prediction* (§4.3), which closes the loop: if
+// the raw predictor has a constant bias b, the effective prediction is
+// raw + Output(), so the error the controller sees is b − Output(). A
+// correct PI(D) controller drives that error to zero — Output() converges
+// to b, the bias is fully absorbed, and predictions become exact.
+//
+// The paper's Table 1 gains are tuned for multi-hour device runs; these
+// tests use faster gains so convergence is observable in a few hundred
+// iterations, and pin the structural properties: bounded overshoot, zero
+// steady-state error on a constant bias, re-convergence after the bias
+// steps, and a non-zero residual when the integral term is removed (the
+// control-theory sanity check that it is the integrator doing that work).
+
+import (
+	"math"
+	"testing"
+)
+
+// stepGains converge in a few hundred 0.1 s samples without ringing.
+func stepGains() Config {
+	return Config{Kp: 0.3, Ki: 0.4, Kd: 0.02, Tau: 0.2, OutMin: -100, OutMax: 100}
+}
+
+// closedLoop runs n samples of the runtime's feedback arrangement against a
+// raw predictor with bias(i): prediction = raw + Output(), observation =
+// raw + bias. It returns the output trace.
+func closedLoop(c *Controller, n int, dt float64, bias func(i int) float64) []float64 {
+	const raw = 2.0 // the raw E[S] prediction; any constant works
+	outs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		predicted := raw + c.Output()
+		observed := raw + bias(i)
+		outs[i] = c.Update(predicted, observed, dt)
+	}
+	return outs
+}
+
+func TestStepResponseZeroSteadyStateError(t *testing.T) {
+	for _, b := range []float64{5, 0.25, -3} {
+		c := New(stepGains())
+		outs := closedLoop(c, 600, 0.1, func(int) float64 { return b })
+		final := outs[len(outs)-1]
+		if math.Abs(final-b) > 1e-3 {
+			t.Errorf("bias %g: steady-state output %g, want %g (error %g)", b, final, b, final-b)
+		}
+		// And it stays converged: the last 100 samples are all within band.
+		for i := len(outs) - 100; i < len(outs); i++ {
+			if math.Abs(outs[i]-b) > 1e-2 {
+				t.Errorf("bias %g: sample %d = %g left the steady-state band", b, i, outs[i])
+				break
+			}
+		}
+	}
+}
+
+func TestStepResponseOvershootBounded(t *testing.T) {
+	const b = 10.0
+	c := New(stepGains())
+	outs := closedLoop(c, 600, 0.1, func(int) float64 { return b })
+	peak := 0.0
+	for _, o := range outs {
+		if o > peak {
+			peak = o
+		}
+	}
+	if peak > 1.25*b {
+		t.Errorf("peak output %g overshoots the %g step by %.0f%% (bound 25%%)", peak, b, 100*(peak/b-1))
+	}
+	if peak < b {
+		// It must actually reach the step, or "no overshoot" is vacuous.
+		if math.Abs(outs[len(outs)-1]-b) > 1e-3 {
+			t.Errorf("output never reached the step: peak %g, final %g", peak, outs[len(outs)-1])
+		}
+	}
+}
+
+// TestStepResponseTracksBiasChange: the bias steps mid-run (the environment
+// shifted — e.g. the harvester moved into shade and every job now takes
+// longer than the profile predicts). The controller must re-converge.
+func TestStepResponseTracksBiasChange(t *testing.T) {
+	c := New(stepGains())
+	outs := closedLoop(c, 1200, 0.1, func(i int) float64 {
+		if i < 600 {
+			return 4
+		}
+		return -2
+	})
+	if mid := outs[599]; math.Abs(mid-4) > 1e-2 {
+		t.Errorf("before the change: output %g, want 4", mid)
+	}
+	if final := outs[len(outs)-1]; math.Abs(final-(-2)) > 1e-2 {
+		t.Errorf("after the change: output %g, want -2", final)
+	}
+}
+
+// TestStepResponseNeedsIntegrator is the contrast case: with Ki = 0 the
+// same loop settles with a persistent residual error (out = Kp·(b−out) ⇒
+// out = b·Kp/(1+Kp) ≠ b), which is exactly why the paper's controller
+// carries an integral term.
+func TestStepResponseNeedsIntegrator(t *testing.T) {
+	const b = 5.0
+	cfg := stepGains()
+	cfg.Ki = 0
+	c := New(cfg)
+	outs := closedLoop(c, 600, 0.1, func(int) float64 { return b })
+	final := outs[len(outs)-1]
+	want := b * cfg.Kp / (1 + cfg.Kp) // fixed point of out = Kp·(b − out)
+	if math.Abs(final-want) > 1e-6 {
+		t.Errorf("P-only loop settled at %g, want the fixed point %g", final, want)
+	}
+	if math.Abs(final-b) < 0.5 {
+		t.Errorf("P-only loop reached %g of %g: residual vanished, the contrast is broken", final, b)
+	}
+}
+
+// TestStepResponseRespectsClamps: a bias beyond OutMax saturates the
+// output at the clamp (the correction can never exceed its configured
+// authority) and recovers once the bias returns in range, without windup
+// sticking.
+func TestStepResponseRespectsClamps(t *testing.T) {
+	cfg := stepGains()
+	cfg.OutMin, cfg.OutMax = -8, 8
+	c := New(cfg)
+	outs := closedLoop(c, 600, 0.1, func(int) float64 { return 50 })
+	for i, o := range outs {
+		if o > 8 || o < -8 {
+			t.Fatalf("sample %d: output %g outside [-8, 8]", i, o)
+		}
+	}
+	if final := outs[len(outs)-1]; final != 8 {
+		t.Errorf("unreachable bias: output %g, want saturation at 8", final)
+	}
+	// Bias drops into range: anti-windup means the recovery is prompt.
+	outs = closedLoop(c, 600, 0.1, func(int) float64 { return 3 })
+	if final := outs[len(outs)-1]; math.Abs(final-3) > 1e-2 {
+		t.Errorf("post-saturation recovery: output %g, want 3", final)
+	}
+}

@@ -27,6 +27,12 @@ import (
 // and should honor ctx cancellation for long runs.
 type Func[K comparable, V any] func(ctx context.Context, key K) (V, error)
 
+// ErrSaturated is returned (wrapped, with the key) by Do when the pool's
+// admission queue is full: Config.MaxWaiters executions are already waiting
+// for a worker slot and the call would need a new execution. Joins of
+// in-flight runs and memo hits are never saturated — they consume no slot.
+var ErrSaturated = errors.New("admission queue saturated")
+
 // Event describes one resolved Do call, for progress reporting.
 type Event[K comparable] struct {
 	Key      K
@@ -49,6 +55,12 @@ type Config[K comparable] struct {
 	Workers int
 	// RunTimeout bounds each individual execution; 0 → no per-run limit.
 	RunTimeout time.Duration
+	// MaxWaiters bounds the admission queue: when > 0 and that many
+	// executions are already waiting for a worker slot, a Do that would
+	// start a new execution fails fast with ErrSaturated instead of
+	// blocking. Cache hits and joins of in-flight runs are unaffected, so
+	// a saturated pool still coalesces duplicates. 0 → unbounded waiting.
+	MaxWaiters int
 	// OnEvent, when set, is called after every resolved Do. Calls are
 	// serialized, so the callback may write to a shared sink unguarded.
 	OnEvent func(Event[K])
@@ -88,11 +100,21 @@ type Pool[K comparable, V any] struct {
 	// its own completion (the stream is monotonic, +1 per event).
 	evMu sync.Mutex
 
-	mu     sync.Mutex
-	calls  map[K]*call[V]
-	ledger Ledger
-	first  time.Time // first submission
-	last   time.Time // latest completion
+	mu      sync.Mutex
+	calls   map[K]*call[V]
+	ledger  Ledger
+	first   time.Time // first submission
+	last    time.Time // latest completion
+	waiting int       // executions queued for a worker slot
+	running int       // executions holding a worker slot
+}
+
+// Stats is an instantaneous occupancy snapshot: how many executions are
+// queued for a worker slot and how many hold one. Services use it as the
+// N in Little's-Law admission decisions.
+type Stats struct {
+	Waiting int
+	Running int
 }
 
 // call is one single-flight execution slot; val/err are written exactly
@@ -120,6 +142,23 @@ func New[K comparable, V any](fn Func[K, V], cfg Config[K]) *Pool[K, V] {
 // Workers returns the pool's concurrency bound.
 func (p *Pool[K, V]) Workers() int { return p.cfg.Workers }
 
+// Stats returns the pool's instantaneous queue/worker occupancy.
+func (p *Pool[K, V]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Waiting: p.waiting, Running: p.running}
+}
+
+// Known reports whether key is already memoized or in flight: a Do for it
+// would be served without a new execution (and therefore cannot be shed by
+// the MaxWaiters bound).
+func (p *Pool[K, V]) Known(key K) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.calls[key]
+	return ok
+}
+
 // Do returns the value for key, executing fn at most once per key: the
 // first caller runs it on a worker slot, concurrent callers for the same
 // key join the in-flight execution, and later callers get the memoized
@@ -142,21 +181,40 @@ func (p *Pool[K, V]) Do(ctx context.Context, key K) (V, error) {
 			return zero, fmt.Errorf("runner: %v: %w", key, context.Cause(ctx))
 		}
 	}
+	if p.cfg.MaxWaiters > 0 && p.waiting >= p.cfg.MaxWaiters {
+		p.mu.Unlock()
+		return zero, fmt.Errorf("runner: %v: %w", key, ErrSaturated)
+	}
 	c := &call[V]{done: make(chan struct{})}
 	p.calls[key] = c
+	p.waiting++
 	p.mu.Unlock()
 
-	// Acquire a worker slot (bounded concurrency).
+	// Acquire a worker slot (bounded concurrency). A caller deadline is
+	// honored while queued: a request that cannot get a slot in time dies
+	// here, without ever executing.
 	enqueued := time.Now()
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
+		p.mu.Lock()
+		p.waiting--
+		p.mu.Unlock()
 		c.err = fmt.Errorf("runner: %v: %w", key, context.Cause(ctx))
 		p.abandon(key, c)
 		return zero, c.err
 	}
 	qwait := time.Since(enqueued)
-	defer func() { <-p.sem }()
+	p.mu.Lock()
+	p.waiting--
+	p.running++
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+		<-p.sem
+	}()
 
 	runCtx := ctx
 	if p.cfg.RunTimeout > 0 {

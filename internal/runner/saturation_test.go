@@ -1,0 +1,159 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSaturationFastFail pins the admission-queue bound: with one worker
+// busy and MaxWaiters executions queued, a Do needing a new execution fails
+// immediately with ErrSaturated — but joins of the in-flight key and memo
+// hits still succeed, so coalescing survives saturation.
+func TestSaturationFastFail(t *testing.T) {
+	release := make(chan struct{})
+	p := New(func(ctx context.Context, key string) (string, error) {
+		if key != "warm" {
+			<-release
+		}
+		return "v:" + key, nil
+	}, Config[string]{Workers: 1, MaxWaiters: 1})
+
+	// Memoize one key while the pool is idle.
+	if _, err := p.Do(context.Background(), "warm"); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, key := range []string{"blocked", "queued"} {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			_, errs[i] = p.Do(context.Background(), key)
+		}(i, key)
+		if i == 0 {
+			waitFor(t, "first run to occupy the worker", func() bool { return p.Stats().Running == 1 })
+		}
+	}
+	waitFor(t, "second run to queue", func() bool { return p.Stats().Waiting == 1 })
+
+	// The queue is full: a third distinct key must shed immediately.
+	if _, err := p.Do(context.Background(), "shed-me"); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated Do error = %v, want ErrSaturated", err)
+	}
+	// Joining the in-flight key is not a new execution: it must not shed.
+	joined := make(chan error, 1)
+	go func() {
+		_, err := p.Do(context.Background(), "blocked")
+		joined <- err
+	}()
+	// A memo hit must not shed either.
+	if v, err := p.Do(context.Background(), "warm"); err != nil || v != "v:warm" {
+		t.Fatalf("memo hit under saturation = %q, %v", v, err)
+	}
+	if !p.Known("blocked") || !p.Known("warm") || p.Known("never-seen") {
+		t.Fatalf("Known() misreports: blocked=%v warm=%v never-seen=%v",
+			p.Known("blocked"), p.Known("warm"), p.Known("never-seen"))
+	}
+
+	close(release)
+	wg.Wait()
+	if err := <-joined; err != nil {
+		t.Fatalf("joined call failed: %v", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d failed: %v", i, err)
+		}
+	}
+
+	// The shed call must have left no trace: 3 executions (warm, blocked,
+	// queued), and the join plus the memo hit are the only cache hits.
+	l := p.Ledger()
+	if l.Executed != 3 || l.Errors != 0 {
+		t.Fatalf("ledger = %+v, want 3 executions, 0 errors", l)
+	}
+	if l.CacheHits != 2 {
+		t.Fatalf("cache hits = %d, want 2 (join + memo hit)", l.CacheHits)
+	}
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after quiesce = %+v, want zero", s)
+	}
+}
+
+// TestSaturatedKeyIsRetryable pins that shedding does not poison the memo:
+// the shed key was never registered, so a later Do executes it normally.
+func TestSaturatedKeyIsRetryable(t *testing.T) {
+	release := make(chan struct{})
+	p := New(func(ctx context.Context, key string) (int, error) {
+		if key == "blocker" {
+			<-release
+		}
+		return len(key), nil
+	}, Config[string]{Workers: 1, MaxWaiters: 1})
+
+	go p.Do(context.Background(), "blocker")
+	waitFor(t, "blocker to run", func() bool { return p.Stats().Running == 1 })
+	go p.Do(context.Background(), "waiter")
+	waitFor(t, "waiter to queue", func() bool { return p.Stats().Waiting == 1 })
+
+	if _, err := p.Do(context.Background(), "shed"); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated, got %v", err)
+	}
+	if p.Known("shed") {
+		t.Fatal("shed key must not be registered")
+	}
+	close(release)
+	waitFor(t, "queue to drain", func() bool { s := p.Stats(); return s.Waiting == 0 && s.Running == 0 })
+
+	v, err := p.Do(context.Background(), "shed")
+	if err != nil || v != 4 {
+		t.Fatalf("retried shed key = %d, %v; want 4, nil", v, err)
+	}
+}
+
+// TestDeadlineWhileQueued pins deadline-aware submission: a queued caller
+// whose context expires before a worker frees up gets the deadline error,
+// the key stays retryable, and the queue count drops back.
+func TestDeadlineWhileQueued(t *testing.T) {
+	release := make(chan struct{})
+	p := New(func(ctx context.Context, key string) (string, error) {
+		if key == "blocker" {
+			<-release
+		}
+		return key, nil
+	}, Config[string]{Workers: 1})
+	defer close(release)
+
+	go p.Do(context.Background(), "blocker")
+	waitFor(t, "blocker to run", func() bool { return p.Stats().Running == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := p.Do(ctx, "impatient")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Do error = %v, want DeadlineExceeded", err)
+	}
+	waitFor(t, "abandoned waiter to unwind", func() bool { return p.Stats().Waiting == 0 })
+	if p.Known("impatient") {
+		t.Fatal("abandoned key must be forgotten so a later Do can retry it")
+	}
+	if l := p.Ledger(); l.Executed != 0 {
+		t.Fatalf("nothing should have executed for the dead caller; ledger = %+v", l)
+	}
+}

@@ -1,0 +1,106 @@
+package service
+
+// FuzzDecodeRequest throws arbitrary bytes at the two POST endpoints. The
+// contract under fuzz: malformed input earns a 4xx and never a panic, a
+// 5xx, or a spawned simulation; input the decoder accepts must have passed
+// every bound in experiments.KeySpec.RunKey. The run function counts
+// invocations so the fuzzer itself verifies "no run without a valid spec".
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"quetzal/internal/experiments"
+	"quetzal/internal/metrics"
+)
+
+func FuzzDecodeRequest(f *testing.F) {
+	// Seed corpus: the interesting shapes, valid and hostile.
+	seeds := []string{
+		`{"system":"qz","env":"crowded"}`,                                // minimal valid run
+		`{"system":"qz","env":"crowded","events":40,"seed":7}`,           // valid with knobs
+		`{"system":"fixed-25","env":"less-crowded","engine":"event"}`,    // parameterized system
+		`{"system":"qz","env":"lab","max_duration":2.5}`,                 // custom environment
+		`{"runs":[{"system":"qz","env":"crowded"}]}`,                     // valid sweep shape
+		`{"system":"qz","env":`,                                          // truncated body
+		`{"system":"qz","env":"crowded","jitter":NaN}`,                   // NaN literal (illegal JSON)
+		`{"system":"qz","env":"crowded","jitter":1e999}`,                 // overflows to +Inf
+		`{"system":"qz","env":"crowded","max_duration":1e300}`,           // absurd duration
+		`{"system":"qz","env":"crowded","events":-5}`,                    // negative count
+		`{"system":"qz","env":"crowded","timeout_ms":-1}`,                // negative timeout
+		`{"system":"qz","env":"crowded","unknown_field":true}`,           // schema violation
+		`{"system":"qz","env":"crowded"}{"system":"na","env":"crowded"}`, // trailing object
+		`[{"system":"qz","env":"crowded"}]`,                              // wrong top-level type
+		`null`, `""`, `0`, `{}`,                                          // degenerate JSON
+		"\x00\xff\xfe", strings.Repeat("{", 1000), // binary noise, nesting
+		`{"system":"` + strings.Repeat("q", 500) + `","env":"crowded"}`, // oversized system id
+		`{"runs":[]}`, // empty sweep
+		`{"runs":[{"system":"qz","env":"crowded","store_capacitance":99}]}`, // out-of-range nested
+	}
+	for _, s := range seeds {
+		f.Add("/v1/run", s)
+		f.Add("/v1/sweep", s)
+	}
+
+	var runs atomic.Int64
+	srv := New(Config{
+		Workers:  2,
+		MaxQueue: 1 << 20, // shedding off: admission 429s would mask decode bugs
+		Run: func(_ context.Context, key experiments.RunKey) (metrics.Results, error) {
+			runs.Add(1)
+			// Re-validate: only keys that round-trip through the gate may run.
+			if _, err := (experiments.KeySpec{
+				System:      key.System,
+				Env:         key.Env.Name,
+				MaxDuration: key.Env.MaxDuration,
+			}).RunKey(); err != nil {
+				// Known envs carry their canonical MaxDuration; retry bare.
+				if _, err2 := (experiments.KeySpec{System: key.System, Env: key.Env.Name}).RunKey(); err2 != nil {
+					panic("executed a key that fails validation: " + err.Error())
+				}
+			}
+			return metrics.Results{System: key.System}, nil
+		},
+	})
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, path string, body string) {
+		// Constrain the path to the two POST routes; everything else is
+		// mux territory, not decode territory.
+		if path != "/v1/run" && path != "/v1/sweep" {
+			path = "/v1/run"
+		}
+		before := runs.Load()
+
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // any panic here fails the fuzzer
+
+		code := rec.Code
+		switch {
+		case code >= 200 && code < 300:
+			// Accepted: the body must decode as a valid spec (or sweep of
+			// specs) by the same gate the handler used.
+			if path == "/v1/run" {
+				var rr runRequest
+				if err := decodeStrict(strings.NewReader(body), &rr); err != nil {
+					t.Fatalf("200 for undecodable body %q: %v", body, err)
+				}
+				if _, err := rr.KeySpec.RunKey(); err != nil {
+					t.Fatalf("200 for invalid spec %q: %v", body, err)
+				}
+			}
+		case code >= 400 && code < 500:
+			// Rejected: must not have cost a simulation.
+			if runs.Load() != before {
+				t.Fatalf("4xx response but a run executed for body %q", body)
+			}
+		default:
+			t.Fatalf("status %d for body %q (want 2xx or 4xx)", code, body)
+		}
+	})
+}

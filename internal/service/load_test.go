@@ -1,0 +1,195 @@
+package service
+
+// The load test from the issue: N goroutine clients hammer /v1/run with a
+// mix of duplicate and distinct configs while the race detector watches.
+// Afterwards the books must balance three ways at once — client-side
+// responses, the pool's ledger, and the /metrics counters all describe the
+// same set of executions, with duplicates provably coalesced.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quetzal/internal/experiments"
+	"quetzal/internal/metrics"
+)
+
+func TestConcurrentLoad(t *testing.T) {
+	const (
+		clients      = 16
+		reqPerClient = 25
+		distinctKeys = 8 // far fewer keys than requests → heavy duplication
+	)
+
+	var executions atomic.Int64
+	s, ts := newTestServer(t, Config{
+		Workers:  4,
+		MaxQueue: clients * reqPerClient, // shedding is not under test here
+		Run: func(_ context.Context, key experiments.RunKey) (metrics.Results, error) {
+			executions.Add(1)
+			time.Sleep(time.Duration(key.Seed%3) * time.Millisecond)
+			return stubResults(key), nil
+		},
+	})
+
+	type tally struct {
+		ok, other int
+		byKey     map[string]int // response id → count, to catch lost answers
+	}
+	tallies := make([]tally, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tallies[c].byKey = make(map[string]int)
+			for i := 0; i < reqPerClient; i++ {
+				seed := (c*reqPerClient + i) % distinctKeys
+				body := fmt.Sprintf(`{"system":"qz","env":"crowded","seed":%d}`, seed+1)
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					tallies[c].other++
+					continue
+				}
+				var out runResponse
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK && derr == nil && out.Results != nil {
+					tallies[c].ok++
+					tallies[c].byKey[out.ID]++
+				} else {
+					tallies[c].other++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Every request got exactly one well-formed answer: none lost, none
+	// duplicated, none shed (the queue was sized for the full load).
+	totalOK, ids := 0, make(map[string]bool)
+	for c := range tallies {
+		if tallies[c].other != 0 {
+			t.Fatalf("client %d: %d non-OK responses", c, tallies[c].other)
+		}
+		totalOK += tallies[c].ok
+		for id := range tallies[c].byKey {
+			ids[id] = true
+		}
+	}
+	if want := clients * reqPerClient; totalOK != want {
+		t.Fatalf("responses = %d, want %d", totalOK, want)
+	}
+	if len(ids) != distinctKeys {
+		t.Fatalf("distinct response ids = %d, want %d", len(ids), distinctKeys)
+	}
+
+	// The ledger balances against both the stub and the clients: every
+	// request either executed or was a cache hit, and with far more
+	// requests than keys, coalescing must have done almost all the work.
+	l := s.Ledger()
+	if int64(l.Executed) != executions.Load() {
+		t.Fatalf("ledger executed %d != stub executions %d", l.Executed, executions.Load())
+	}
+	if l.Executed < distinctKeys {
+		t.Fatalf("executed %d < %d distinct keys", l.Executed, distinctKeys)
+	}
+	if l.Executed+l.CacheHits != clients*reqPerClient {
+		t.Fatalf("executed %d + cache hits %d != %d requests", l.Executed, l.CacheHits, clients*reqPerClient)
+	}
+	// Memoization means a key can execute at most once; joins and memo hits
+	// absorb the other ~390 requests.
+	if l.Executed != distinctKeys {
+		t.Fatalf("executed %d, want exactly %d (one per distinct key)", l.Executed, distinctKeys)
+	}
+
+	// /metrics reconciles with the ledger at quiescence: the OnEvent stream
+	// is serialized, so after all responses are in, the counters are exact.
+	_, body := get(t, ts, "/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("quetzald_runs_executed_total %d", l.Executed),
+		fmt.Sprintf("quetzald_run_cache_hits_total %d", l.CacheHits),
+		fmt.Sprintf("quetzald_http_requests_total_run %d", clients*reqPerClient),
+		fmt.Sprintf("quetzald_http_responses_total_run_2xx %d", clients*reqPerClient),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentLoadWithShedding saturates a tiny server on purpose: the
+// invariant is not that everyone wins but that every request gets a clean
+// 200 or 429 — no deadlocks, no lost responses — and the shed count in
+// /metrics matches the client-side 429 tally exactly.
+func TestConcurrentLoadWithShedding(t *testing.T) {
+	const clients = 12
+	s, ts := newTestServer(t, Config{
+		Workers:  1,
+		MaxQueue: 2,
+		Run: func(_ context.Context, key experiments.RunKey) (metrics.Results, error) {
+			time.Sleep(2 * time.Millisecond)
+			return stubResults(key), nil
+		},
+	})
+
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				body := fmt.Sprintf(`{"system":"qz","env":"crowded","seed":%d}`, c*100+i+1)
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					other.Add(1)
+					continue
+				}
+				retryAfter := resp.Header.Get("Retry-After")
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					if retryAfter == "" {
+						other.Add(1) // a 429 without Retry-After is a bug
+					} else {
+						shed.Add(1)
+					}
+				default:
+					other.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("%d responses were neither 200 nor 429-with-Retry-After", other.Load())
+	}
+	if ok.Load()+shed.Load() != clients*10 {
+		t.Fatalf("accounted %d responses, want %d", ok.Load()+shed.Load(), clients*10)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("everything shed; the queue admitted nothing")
+	}
+	if shed.Load() == 0 {
+		t.Fatal("nothing shed; the load test did not saturate the queue")
+	}
+	if got := s.reg.Counter("quetzald_shed_total").Value(); got != shed.Load() {
+		t.Fatalf("quetzald_shed_total = %d, client-side 429s = %d", got, shed.Load())
+	}
+	// All distinct keys → every 200 cost one execution; the ledger agrees
+	// with the client tally.
+	if l := s.Ledger(); int64(l.Executed) != ok.Load() {
+		t.Fatalf("executed %d != 200s %d", l.Executed, ok.Load())
+	}
+}
