@@ -1,0 +1,76 @@
+package main
+
+// Fleet mode: -fleet N sidesteps the figure sweep entirely and renders one
+// population-comparison table — the same N-device fleet (same seed, same
+// correlated skies, same jittered hardware population) run once per
+// controller, so the only varying factor between rows is the scheduling
+// policy. This is the fleet-scale analogue of Table 1.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"quetzal/internal/experiments"
+	"quetzal/internal/fleet"
+	"quetzal/internal/report"
+)
+
+// fleetSystems is the controller lineup for the fleet comparison, in render
+// order: Quetzal against the paper's baselines.
+var fleetSystems = []string{
+	experiments.SysQuetzal,
+	experiments.SysNoAdapt,
+	experiments.SysAlwaysDeg,
+	experiments.SysCatNap,
+	experiments.SysPZO,
+	experiments.SysPZI,
+}
+
+// runFleetTable executes one fleet per system and renders the comparison.
+func runFleetTable(ctx context.Context, devices int, envName string, events int,
+	seed int64, jitter float64, workers int, progress bool) (*report.Table, error) {
+	t := report.New(
+		fmt.Sprintf("fleet: %d devices, %s, jitter %g, seed %d", devices, envName, jitter, seed),
+		"system", "IBO", "discarded", "highQ", "IBO p50", "IBO p90", "IBO p99",
+		"wasted J", "devices/s")
+
+	for _, sys := range fleetSystems {
+		spec := experiments.FleetSpec{
+			Devices: devices,
+			System:  sys,
+			Env:     envName,
+			Events:  events,
+			Seed:    seed,
+			Jitter:  jitter,
+		}
+		plan, err := spec.Plan()
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s: %v", sys, err)
+		}
+		opts := fleet.Options{Workers: workers}
+		if progress {
+			start := time.Now()
+			opts.OnProgress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "[fleet %s] %d/%d devices (%.0f/s)\n",
+					sys, done, total, float64(done)/time.Since(start).Seconds())
+			}
+		}
+		agg, stats, err := fleet.Run(ctx, plan, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s: %v", sys, err)
+		}
+		ibo := agg.Histograms["ibo_fraction"]
+		t.AddRow(sys,
+			report.Pct(agg.IBOFraction),
+			report.Pct(agg.DiscardedFraction),
+			report.Pct(agg.HighQualityShare),
+			report.F(ibo.P50), report.F(ibo.P90), report.F(ibo.P99),
+			report.F(agg.WastedJoules),
+			report.F(stats.DevicesPerSec))
+	}
+	t.AddNote("fleet ratios pool integer totals across all devices; "+
+		"p50/p90/p99 are per-device IBO-fraction quantiles (%d devices per system)", devices)
+	return t, nil
+}

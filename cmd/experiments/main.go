@@ -86,8 +86,37 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace of the sweep's run schedule (wall-clock worker lanes)")
 		metOut   = flag.String("metrics", "", "write sweep ledger metrics (runs, cache hits, latency histogram) to this file")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this host:port during the sweep")
+
+		fleetN   = flag.Int("fleet", 0, "render a fleet comparison table over N devices per system instead of figures (0 = figure mode)")
+		fleetEnv = flag.String("fleetenv", "less-crowded", "fleet environment")
+		jitter   = flag.Float64("jitter", 0.1, "fleet per-device parameter jitter fraction")
 	)
 	flag.Parse()
+
+	if *fleetN > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		// -events 0 keeps the fleet default (short per-device runs).
+		table, err := runFleetTable(ctx, *fleetN, *fleetEnv, *events, *seed, *jitter, *parallel, *progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		var rerr error
+		switch {
+		case *csv:
+			rerr = table.RenderCSV(os.Stdout)
+		case *md:
+			rerr = table.RenderMarkdown(os.Stdout)
+		default:
+			rerr = table.Render(os.Stdout)
+		}
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", rerr)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Validate and de-duplicate the figure list before any simulation
 	// starts: a typo should fail in milliseconds, not partway through a

@@ -8,14 +8,15 @@
 // Usage:
 //
 //	quetzald [-listen HOST:PORT] [-workers N] [-run-timeout DUR]
-//	         [-max-queue N] [-events N] [-seed N] [-mcu apollo4|msp430|stm32g0]
-//	         [-engine fixed|event] [-drain-timeout DUR]
-//	         [-metrics FILE.txt] [-pprof HOST:PORT]
+//	         [-fleet-timeout DUR] [-max-queue N] [-events N] [-seed N]
+//	         [-mcu apollo4|msp430|stm32g0] [-engine fixed|event]
+//	         [-drain-timeout DUR] [-metrics FILE.txt] [-pprof HOST:PORT]
 //
 // Endpoints:
 //
 //	POST /v1/run       execute one run        {"system":"qz","env":"crowded",...}
 //	POST /v1/sweep     execute a batch        {"runs":[{...},{...}]}
+//	POST /v1/fleet     simulate a population  {"devices":100000,"system":"qz","env":"less-crowded"}
 //	GET  /v1/runs/{id} look up a run record
 //	GET  /healthz      liveness (503 while draining)
 //	GET  /metrics      counters, gauges and histograms (text format)
@@ -54,6 +55,7 @@ type appConfig struct {
 	listen       string
 	workers      int
 	runTimeout   time.Duration
+	fleetTimeout time.Duration
 	maxQueue     int
 	events       int
 	seed         int64
@@ -71,6 +73,7 @@ func parseFlags(args []string, stderr io.Writer) (appConfig, error) {
 	fs.StringVar(&c.listen, "listen", ":8080", "HTTP listen address")
 	fs.IntVar(&c.workers, "workers", 0, "concurrent simulations (0 = one per CPU)")
 	fs.DurationVar(&c.runTimeout, "run-timeout", 60*time.Second, "per-request execution budget")
+	fs.DurationVar(&c.fleetTimeout, "fleet-timeout", 30*time.Minute, "POST /v1/fleet execution budget")
 	fs.IntVar(&c.maxQueue, "max-queue", 0, "admission queue bound (0 = 4x workers)")
 	fs.IntVar(&c.events, "events", 300, "default number of sensing events per run")
 	fs.Int64Var(&c.seed, "seed", 42, "default trace and classifier seed")
@@ -101,6 +104,9 @@ func (c appConfig) validate() error {
 	}
 	if c.runTimeout <= 0 {
 		return fmt.Errorf("-run-timeout must be positive, got %v", c.runTimeout)
+	}
+	if c.fleetTimeout <= 0 {
+		return fmt.Errorf("-fleet-timeout must be positive, got %v", c.fleetTimeout)
 	}
 	if c.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", c.drainTimeout)
@@ -147,11 +153,12 @@ func buildServer(c appConfig, logf func(string, ...any)) (*service.Server, error
 	}
 	setup.Engine = engine
 	return service.New(service.Config{
-		Setup:      setup,
-		Workers:    c.workers,
-		RunTimeout: c.runTimeout,
-		MaxQueue:   c.maxQueue,
-		Logf:       logf,
+		Setup:        setup,
+		Workers:      c.workers,
+		RunTimeout:   c.runTimeout,
+		FleetTimeout: c.fleetTimeout,
+		MaxQueue:     c.maxQueue,
+		Logf:         logf,
 	}), nil
 }
 

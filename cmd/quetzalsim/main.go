@@ -17,6 +17,7 @@
 //	quetzalsim -system na -env more-crowded -mcu msp430
 //	quetzalsim -system fixed-50 -env less-crowded -v
 //	quetzalsim -system qz -env crowded -trace run.json   # open in chrome://tracing
+//	quetzalsim -fleet 100000 -system qz -env less-crowded -progress   # population sweep
 package main
 
 import (
@@ -93,8 +94,34 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing)")
 		metOut   = flag.String("metrics", "", "write a metrics text dump to this file after the run")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this host:port while the run executes")
+
+		fleetN   = flag.Int("fleet", 0, "simulate a fleet of N heterogeneous devices and print the aggregate (0 = single run)")
+		shard    = flag.Int("shard", 0, "fleet devices per shard (0 = default)")
+		jitter   = flag.Float64("jitter", 0.1, "fleet per-device parameter jitter fraction")
+		corr     = flag.Float64("correlation", 0, "fleet regional-sky correlation in (0,1] (0 = default)")
+		progress = flag.Bool("progress", false, "log fleet shard progress to stderr")
 	)
 	flag.Parse()
+
+	if *fleetN > 0 {
+		ff := fleetFlags{devices: *fleetN, shard: *shard, jitter: *jitter,
+			correlation: *corr, progress: *progress}
+		if err := validateFleetFlags(ff, *timeline, *traceOut, *tlSVG); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Fleet events default low (population sweeps): an unset -events
+		// would make every device as long as a full single run.
+		fleetEvents := 0
+		if isFlagSet("events") {
+			fleetEvents = *events
+		}
+		if err := runFleet(ff, *system, *envName, fleetEvents, *seed, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	env, err := resolveEnv(*envName)
 	if err != nil {
@@ -268,6 +295,18 @@ func renderTimelineSVG(csvPath, svgPath string) error {
 	}
 	defer out.Close()
 	return chart.WriteSVG(out)
+}
+
+// isFlagSet reports whether a flag was passed explicitly on the command
+// line (as opposed to holding its default).
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func max1(v int) float64 {

@@ -165,24 +165,38 @@ func (m *Machine) Observe(obs ...Observer) {
 // results and every observer's OnFinish runs. When no InvariantObserver is
 // registered, the results' own accounting identities are still verified.
 func (m *Machine) Run(ctx context.Context, s Stepper) (metrics.Results, error) {
+	err := m.RunInto(ctx, s, nil)
+	return m.res, err
+}
+
+// RunInto is the results-sink form of Run: instead of returning the ~90-field
+// Results by value, it executes the run and, on success, hands the sink a
+// pointer into the machine's own results. Fleet-scale callers reduce through
+// the pointer (e.g. metrics.Summarize) and let the machine go, so nothing the
+// size of Results outlives the device. The pointer is only valid inside the
+// callback; sink may be nil.
+func (m *Machine) RunInto(ctx context.Context, s Stepper, sink func(*metrics.Results)) error {
 	if s == nil {
 		s = FixedStepper{}
 	}
 	if err := s.Run(ctx, m); err != nil {
-		return m.res, err
+		return err
 	}
 	m.finish()
 	for _, o := range m.observers {
 		if err := o.OnFinish(m); err != nil {
-			return m.res, err
+			return err
 		}
 	}
 	if !m.verified {
 		if err := m.res.Check(); err != nil {
-			return m.res, fmt.Errorf("engine: inconsistent accounting: %w", err)
+			return fmt.Errorf("engine: inconsistent accounting: %w", err)
 		}
 	}
-	return m.res, nil
+	if sink != nil {
+		sink(&m.res)
+	}
+	return nil
 }
 
 // Duration returns the configured simulated run length in seconds.

@@ -87,9 +87,9 @@ func (o InvariantObserver) OnFinish(m *Machine) error {
 // FuncObserver adapts plain functions to the Observer interface; nil
 // fields behave as no-ops. Tests and ad-hoc metrics collectors use it.
 type FuncObserver struct {
-	Step    func(m *Machine, dt float64)
-	Bound   func(now float64) float64
-	Finish  func(m *Machine) error
+	Step   func(m *Machine, dt float64)
+	Bound  func(now float64) float64
+	Finish func(m *Machine) error
 }
 
 // OnStep calls Step when set.

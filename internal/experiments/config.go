@@ -151,7 +151,7 @@ func (s Setup) runContext(ctx context.Context, systemID string, env Environment,
 	power, events := s.Traces(env)
 	app := s.Profile.PersonDetectionApp()
 
-	ctl, bufCap, err := s.controller(systemID, app, power, events)
+	ctl, bufCap, err := s.Controller(systemID, app, power, events)
 	if err != nil {
 		return metrics.Results{}, err
 	}
@@ -227,9 +227,11 @@ func (s Setup) ideal(env Environment) metrics.Results {
 	}
 }
 
-// controller builds the controller for a system id. The returned buffer
-// capacity is 0 (profile default) except for the Ideal system.
-func (s Setup) controller(systemID string, app *model.App, power trace.PowerTrace, events *trace.EventTrace) (core.Controller, int, error) {
+// Controller builds the controller for a system id. The returned buffer
+// capacity is 0 (profile default) except for the Ideal system. Exported so
+// the fleet layer can assemble per-device configurations through the same
+// system registry the figures use.
+func (s Setup) Controller(systemID string, app *model.App, power trace.PowerTrace, events *trace.EventTrace) (core.Controller, int, error) {
 	quetzal := func(mutate func(*core.Config)) (core.Controller, int, error) {
 		cfg := core.Config{
 			App:           app,

@@ -178,7 +178,7 @@ func (sp KeySpec) RunKey() (RunKey, error) {
 	}
 
 	if sp.Profile != "" {
-		if _, ok := profileByName(sp.Profile); !ok {
+		if _, ok := ProfileByName(sp.Profile); !ok {
 			return RunKey{}, fmt.Errorf("unknown profile %q", sp.Profile)
 		}
 	}

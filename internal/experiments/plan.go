@@ -28,10 +28,10 @@ const (
 	ProfileApollo4MultiQ = "apollo4-multiq"
 )
 
-// profileByName resolves a registry name to a device profile. The registry
+// ProfileByName resolves a registry name to a device profile. The registry
 // exists so RunKey stays comparable: a Profile value holds slices and
 // cannot be a map key.
-func profileByName(name string) (device.Profile, bool) {
+func ProfileByName(name string) (device.Profile, bool) {
 	switch name {
 	case ProfileApollo4:
 		return device.Apollo4(), true
@@ -121,7 +121,7 @@ func (k RunKey) String() string {
 // resolved setup plus the simulator-level override hook.
 func (s Setup) resolve(k RunKey) (Setup, func(*sim.Config), error) {
 	if k.Profile != "" {
-		p, ok := profileByName(k.Profile)
+		p, ok := ProfileByName(k.Profile)
 		if !ok {
 			return s, nil, fmt.Errorf("experiments: unknown profile %q", k.Profile)
 		}

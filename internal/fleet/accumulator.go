@@ -1,0 +1,306 @@
+package fleet
+
+import (
+	"math"
+
+	"quetzal/internal/metrics"
+	"quetzal/internal/obs"
+)
+
+// FractionLayout is the histogram layout for [0,1] ratio metrics: 50 linear
+// buckets of width 0.02 plus the implicit overflow bucket.
+func FractionLayout() obs.Layout { return obs.LinearBuckets(0.02, 0.02, 50) }
+
+// EnergyLayout is the histogram layout for per-device wasted energy in
+// joules: 1 mJ doubling up to ~8.4 kJ.
+func EnergyLayout() obs.Layout { return obs.ExpBuckets(0.001, 2, 24) }
+
+// Totals are the fleet's exact integer counters. Integer addition is
+// associative, so totals may be subtotaled per shard and combined in any
+// grouping without changing a single bit — they carry no fold-order caveat.
+type Totals struct {
+	Devices              int `json:"devices"`
+	Captures             int `json:"captures"`
+	CaptureMisses        int `json:"capture_misses"`
+	MissedInteresting    int `json:"missed_interesting"`
+	Arrivals             int `json:"arrivals"`
+	InterestingArrivals  int `json:"interesting_arrivals"`
+	IBOLossesInteresting int `json:"ibo_losses_interesting"`
+	FalseNegatives       int `json:"false_negatives"`
+	ReportedInteresting  int `json:"reported_interesting"`
+	HighQInteresting     int `json:"highq_interesting"`
+	JobsCompleted        int `json:"jobs_completed"`
+	Degradations         int `json:"degradations"`
+	Brownouts            int `json:"brownouts"`
+}
+
+func (t *Totals) add(o Totals) {
+	t.Devices += o.Devices
+	t.Captures += o.Captures
+	t.CaptureMisses += o.CaptureMisses
+	t.MissedInteresting += o.MissedInteresting
+	t.Arrivals += o.Arrivals
+	t.InterestingArrivals += o.InterestingArrivals
+	t.IBOLossesInteresting += o.IBOLossesInteresting
+	t.FalseNegatives += o.FalseNegatives
+	t.ReportedInteresting += o.ReportedInteresting
+	t.HighQInteresting += o.HighQInteresting
+	t.JobsCompleted += o.JobsCompleted
+	t.Degradations += o.Degradations
+	t.Brownouts += o.Brownouts
+}
+
+// Block is one shard's results in columnar form: one entry per device, in
+// device-index order, per metric — the unit of transfer between shard
+// workers and the fold loop. A Block for a 512-device shard is ~33 KiB
+// regardless of how much state each device's full Results would hold.
+type Block struct {
+	SimSeconds          []float64
+	IBOFraction         []float64
+	DiscardedFraction   []float64
+	HighQualityShare    []float64
+	CaptureMissFraction []float64
+	WastedJoules        []float64
+	HarvestedJoules     []float64
+	ConsumedJoules      []float64
+	Totals              Totals
+}
+
+// NewBlock preallocates a block for n devices.
+func NewBlock(n int) *Block {
+	return &Block{
+		SimSeconds:          make([]float64, 0, n),
+		IBOFraction:         make([]float64, 0, n),
+		DiscardedFraction:   make([]float64, 0, n),
+		HighQualityShare:    make([]float64, 0, n),
+		CaptureMissFraction: make([]float64, 0, n),
+		WastedJoules:        make([]float64, 0, n),
+		HarvestedJoules:     make([]float64, 0, n),
+		ConsumedJoules:      make([]float64, 0, n),
+	}
+}
+
+// Push appends one device's summary as the block's next row.
+func (b *Block) Push(s metrics.Summary) {
+	b.SimSeconds = append(b.SimSeconds, s.SimSeconds)
+	b.IBOFraction = append(b.IBOFraction, s.IBOFraction)
+	b.DiscardedFraction = append(b.DiscardedFraction, s.DiscardedFraction)
+	b.HighQualityShare = append(b.HighQualityShare, s.HighQualityShare)
+	b.CaptureMissFraction = append(b.CaptureMissFraction, s.CaptureMissFraction)
+	b.WastedJoules = append(b.WastedJoules, s.WastedJoules)
+	b.HarvestedJoules = append(b.HarvestedJoules, s.HarvestedJoules)
+	b.ConsumedJoules = append(b.ConsumedJoules, s.ConsumedJoules)
+	b.Totals.add(Totals{
+		Devices:              1,
+		Captures:             s.Captures,
+		CaptureMisses:        s.CaptureMisses,
+		MissedInteresting:    s.MissedInteresting,
+		Arrivals:             s.Arrivals,
+		InterestingArrivals:  s.InterestingArrivals,
+		IBOLossesInteresting: s.IBOLossesInteresting,
+		FalseNegatives:       s.FalseNegatives,
+		ReportedInteresting:  s.ReportedInteresting,
+		HighQInteresting:     s.HighQInteresting,
+		JobsCompleted:        s.JobsCompleted,
+		Degradations:         s.Degradations,
+		Brownouts:            s.Brownouts,
+	})
+}
+
+// Len returns the number of device rows in the block.
+func (b *Block) Len() int { return len(b.SimSeconds) }
+
+// Accumulator folds device summaries into fixed-size state: five fleet
+// histograms, the exact integer totals, and ordered floating-point sums.
+// Its memory is constant — fleet RSS stays O(window · block), never
+// O(devices · Results).
+//
+// Byte-identity contract: histogram counts and integer totals are exact
+// under any fold grouping, but the float sums (and histogram internal sums
+// feeding Dist.Mean) are ordered — the fleet runner folds blocks strictly
+// in shard order so Aggregate is byte-identical across worker counts and
+// shard windows. Merge preserves exactness for counts/totals but adds the
+// float sums in merge order; merge composition is deterministic only for a
+// fixed merge order.
+type Accumulator struct {
+	hIBO    *obs.Histogram
+	hDisc   *obs.Histogram
+	hHQ     *obs.Histogram
+	hMiss   *obs.Histogram
+	hWasted *obs.Histogram
+
+	totals     Totals
+	simSeconds float64
+	harvested  float64
+	consumed   float64
+	wasted     float64
+}
+
+// NewAccumulator builds an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		hIBO:    obs.NewHistogram(FractionLayout()),
+		hDisc:   obs.NewHistogram(FractionLayout()),
+		hHQ:     obs.NewHistogram(FractionLayout()),
+		hMiss:   obs.NewHistogram(FractionLayout()),
+		hWasted: obs.NewHistogram(EnergyLayout()),
+	}
+}
+
+// Fold adds one device's summary.
+func (a *Accumulator) Fold(s metrics.Summary) {
+	a.hIBO.Observe(s.IBOFraction)
+	a.hDisc.Observe(s.DiscardedFraction)
+	a.hHQ.Observe(s.HighQualityShare)
+	a.hMiss.Observe(s.CaptureMissFraction)
+	a.hWasted.Observe(s.WastedJoules)
+	a.simSeconds += s.SimSeconds
+	a.harvested += s.HarvestedJoules
+	a.consumed += s.ConsumedJoules
+	a.wasted += s.WastedJoules
+	a.totals.add(Totals{
+		Devices:              1,
+		Captures:             s.Captures,
+		CaptureMisses:        s.CaptureMisses,
+		MissedInteresting:    s.MissedInteresting,
+		Arrivals:             s.Arrivals,
+		InterestingArrivals:  s.InterestingArrivals,
+		IBOLossesInteresting: s.IBOLossesInteresting,
+		FalseNegatives:       s.FalseNegatives,
+		ReportedInteresting:  s.ReportedInteresting,
+		HighQInteresting:     s.HighQInteresting,
+		JobsCompleted:        s.JobsCompleted,
+		Degradations:         s.Degradations,
+		Brownouts:            s.Brownouts,
+	})
+}
+
+// FoldBlock folds a shard block row by row, in the block's device order.
+func (a *Accumulator) FoldBlock(b *Block) {
+	for i := range b.SimSeconds {
+		a.hIBO.Observe(b.IBOFraction[i])
+		a.hDisc.Observe(b.DiscardedFraction[i])
+		a.hHQ.Observe(b.HighQualityShare[i])
+		a.hMiss.Observe(b.CaptureMissFraction[i])
+		a.hWasted.Observe(b.WastedJoules[i])
+		a.simSeconds += b.SimSeconds[i]
+		a.harvested += b.HarvestedJoules[i]
+		a.consumed += b.ConsumedJoules[i]
+		a.wasted += b.WastedJoules[i]
+	}
+	a.totals.add(b.Totals)
+}
+
+// Merge adds another accumulator's state into a. Histogram counts and
+// integer totals merge exactly (any grouping agrees); the float sums add in
+// merge order (see the type comment's byte-identity contract).
+func (a *Accumulator) Merge(o *Accumulator) error {
+	for _, m := range []struct{ dst, src *obs.Histogram }{
+		{a.hIBO, o.hIBO}, {a.hDisc, o.hDisc}, {a.hHQ, o.hHQ},
+		{a.hMiss, o.hMiss}, {a.hWasted, o.hWasted},
+	} {
+		if err := m.dst.Merge(m.src); err != nil {
+			return err
+		}
+	}
+	a.totals.add(o.totals)
+	a.simSeconds += o.simSeconds
+	a.harvested += o.harvested
+	a.consumed += o.consumed
+	a.wasted += o.wasted
+	return nil
+}
+
+// Dist is one fleet histogram rendered for the wire: exact per-bucket
+// counts plus min/mean/max and interpolated quantiles.
+type Dist struct {
+	Count   uint64    `json:"count"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Mean    float64   `json:"mean"`
+	P50     float64   `json:"p50"`
+	P90     float64   `json:"p90"`
+	P99     float64   `json:"p99"`
+	Buckets []uint64  `json:"buckets"`
+	Bounds  []float64 `json:"bounds"` // bucket upper bounds; +Inf implicit
+}
+
+func distOf(h *obs.Histogram) Dist {
+	d := Dist{
+		Count:   h.Count(),
+		Min:     h.Min(),
+		Max:     h.Max(),
+		Buckets: h.BucketCounts(),
+	}
+	if d.Count > 0 {
+		d.Mean = h.Sum() / float64(d.Count)
+		d.P50 = h.Quantile(0.50)
+		d.P90 = h.Quantile(0.90)
+		d.P99 = h.Quantile(0.99)
+	}
+	return d
+}
+
+// Aggregate is the deterministic fleet-level result: exact totals, ordered
+// energy sums, population ratios computed from the integer totals, and the
+// five distribution histograms. Marshaling an Aggregate to JSON is the
+// byte-identity surface the determinism tests pin.
+type Aggregate struct {
+	Totals Totals `json:"totals"`
+
+	SimSeconds      float64 `json:"sim_seconds_total"`
+	HarvestedJoules float64 `json:"harvested_joules_total"`
+	ConsumedJoules  float64 `json:"consumed_joules_total"`
+	WastedJoules    float64 `json:"wasted_joules_total"`
+
+	// Fleet-level ratios over the pooled integer totals (exact): e.g.
+	// IBOFraction is all interesting IBO losses over all interesting
+	// arrivals, fleet-wide — not the mean of per-device fractions (that
+	// lives in Histograms["ibo_fraction"].Mean).
+	IBOFraction         float64 `json:"ibo_fraction"`
+	DiscardedFraction   float64 `json:"discarded_fraction"`
+	HighQualityShare    float64 `json:"high_quality_share"`
+	CaptureMissFraction float64 `json:"capture_miss_fraction"`
+
+	Histograms map[string]Dist `json:"histograms"`
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Aggregate renders the accumulator's state.
+func (a *Accumulator) Aggregate() *Aggregate {
+	t := a.totals
+	return &Aggregate{
+		Totals:              t,
+		SimSeconds:          a.simSeconds,
+		HarvestedJoules:     a.harvested,
+		ConsumedJoules:      a.consumed,
+		WastedJoules:        a.wasted,
+		IBOFraction:         ratio(t.IBOLossesInteresting, t.InterestingArrivals),
+		DiscardedFraction:   ratio(t.IBOLossesInteresting+t.FalseNegatives, t.InterestingArrivals),
+		HighQualityShare:    ratio(t.HighQInteresting, t.ReportedInteresting),
+		CaptureMissFraction: ratio(t.MissedInteresting, t.MissedInteresting+t.InterestingArrivals),
+		Histograms: map[string]Dist{
+			"ibo_fraction":          distOf(a.hIBO),
+			"discarded_fraction":    distOf(a.hDisc),
+			"high_quality_share":    distOf(a.hHQ),
+			"capture_miss_fraction": distOf(a.hMiss),
+			"wasted_joules":         distOf(a.hWasted),
+		},
+	}
+}
+
+// sanity guard: the fraction layout must cover [0,1] so ratio observations
+// never land in the overflow bucket (quantile interpolation stays tight).
+var _ = func() struct{} {
+	b := FractionLayout().Bounds()
+	if b[len(b)-1] < 1 || math.Abs(b[len(b)-1]-1) > 1e-9 {
+		panic("fleet: fraction layout must end at 1")
+	}
+	return struct{}{}
+}()

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"quetzal/internal/metrics"
+)
+
+// randSummary draws one plausible device summary.
+func randSummary(rng *rand.Rand) metrics.Summary {
+	return metrics.Summary{
+		SimSeconds:           10 + rng.Float64()*100,
+		IBOFraction:          rng.Float64(),
+		DiscardedFraction:    rng.Float64(),
+		HighQualityShare:     rng.Float64(),
+		CaptureMissFraction:  rng.Float64(),
+		HarvestedJoules:      rng.Float64() * 5,
+		ConsumedJoules:       rng.Float64() * 5,
+		WastedJoules:         rng.Float64() * 2,
+		Captures:             rng.Intn(50),
+		CaptureMisses:        rng.Intn(10),
+		MissedInteresting:    rng.Intn(5),
+		Arrivals:             rng.Intn(40),
+		InterestingArrivals:  rng.Intn(20),
+		IBOLossesInteresting: rng.Intn(5),
+		FalseNegatives:       rng.Intn(5),
+		ReportedInteresting:  rng.Intn(15),
+		HighQInteresting:     rng.Intn(10),
+		JobsCompleted:        rng.Intn(60),
+		Degradations:         rng.Intn(8),
+		Brownouts:            rng.Intn(3),
+	}
+}
+
+// TestAccumulatorFoldBlockMatchesFold pins that the columnar block path and
+// the scalar fold path agree bit-for-bit when rows arrive in the same order.
+func TestAccumulatorFoldBlockMatchesFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	summaries := make([]metrics.Summary, 300)
+	for i := range summaries {
+		summaries[i] = randSummary(rng)
+	}
+
+	scalar := NewAccumulator()
+	for _, s := range summaries {
+		scalar.Fold(s)
+	}
+
+	blocked := NewAccumulator()
+	for start := 0; start < len(summaries); start += 64 {
+		end := start + 64
+		if end > len(summaries) {
+			end = len(summaries)
+		}
+		b := NewBlock(end - start)
+		for _, s := range summaries[start:end] {
+			b.Push(s)
+		}
+		blocked.FoldBlock(b)
+	}
+
+	a, err := json.Marshal(scalar.Aggregate())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b, err := json.Marshal(blocked.Aggregate())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("block fold diverged from scalar fold\nscalar: %s\nblock:  %s", a, b)
+	}
+}
+
+// TestAccumulatorMergeOfSplits pins Merge's exactness contract: counts,
+// totals and quantiles from merged per-shard accumulators equal the whole;
+// float sums agree within rounding.
+func TestAccumulatorMergeOfSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	summaries := make([]metrics.Summary, 500)
+	for i := range summaries {
+		summaries[i] = randSummary(rng)
+	}
+
+	whole := NewAccumulator()
+	for _, s := range summaries {
+		whole.Fold(s)
+	}
+
+	merged := NewAccumulator()
+	for start := 0; start < len(summaries); start += 125 {
+		part := NewAccumulator()
+		for _, s := range summaries[start : start+125] {
+			part.Fold(s)
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	}
+
+	wa, ma := whole.Aggregate(), merged.Aggregate()
+	if wa.Totals != ma.Totals {
+		t.Fatalf("totals diverged: %+v vs %+v", wa.Totals, ma.Totals)
+	}
+	for name, wd := range wa.Histograms {
+		md := ma.Histograms[name]
+		if wd.Count != md.Count || wd.Min != md.Min || wd.Max != md.Max {
+			t.Fatalf("%s: count/min/max diverged", name)
+		}
+		if wd.P50 != md.P50 || wd.P90 != md.P90 || wd.P99 != md.P99 {
+			t.Fatalf("%s: quantiles diverged: (%g,%g,%g) vs (%g,%g,%g)",
+				name, wd.P50, wd.P90, wd.P99, md.P50, md.P90, md.P99)
+		}
+		for i := range wd.Buckets {
+			if wd.Buckets[i] != md.Buckets[i] {
+				t.Fatalf("%s: bucket %d diverged", name, i)
+			}
+		}
+	}
+	const tol = 1e-9
+	for _, c := range []struct {
+		name string
+		w, m float64
+	}{
+		{"sim_seconds", wa.SimSeconds, ma.SimSeconds},
+		{"harvested", wa.HarvestedJoules, ma.HarvestedJoules},
+		{"consumed", wa.ConsumedJoules, ma.ConsumedJoules},
+		{"wasted", wa.WastedJoules, ma.WastedJoules},
+	} {
+		if diff := c.w - c.m; diff > tol*c.w || diff < -tol*c.w {
+			t.Fatalf("%s sum diverged: %g vs %g", c.name, c.w, c.m)
+		}
+	}
+}
+
+// TestAggregateRatiosFromTotals pins that fleet-level ratios come from the
+// pooled integer totals, not from averaging per-device fractions.
+func TestAggregateRatiosFromTotals(t *testing.T) {
+	a := NewAccumulator()
+	a.Fold(metrics.Summary{InterestingArrivals: 10, IBOLossesInteresting: 1, FalseNegatives: 1,
+		ReportedInteresting: 8, HighQInteresting: 4, MissedInteresting: 2})
+	a.Fold(metrics.Summary{InterestingArrivals: 30, IBOLossesInteresting: 9,
+		ReportedInteresting: 21, HighQInteresting: 7, MissedInteresting: 2})
+	agg := a.Aggregate()
+	if got, want := agg.IBOFraction, 10.0/40.0; got != want {
+		t.Fatalf("IBOFraction = %g, want %g", got, want)
+	}
+	if got, want := agg.DiscardedFraction, 11.0/40.0; got != want {
+		t.Fatalf("DiscardedFraction = %g, want %g", got, want)
+	}
+	if got, want := agg.HighQualityShare, 11.0/29.0; got != want {
+		t.Fatalf("HighQualityShare = %g, want %g", got, want)
+	}
+	if got, want := agg.CaptureMissFraction, 4.0/44.0; got != want {
+		t.Fatalf("CaptureMissFraction = %g, want %g", got, want)
+	}
+}
+
+// TestAggregateEmpty pins the zero-devices rendering: all ratios zero, no
+// NaNs leaking into JSON.
+func TestAggregateEmpty(t *testing.T) {
+	agg := NewAccumulator().Aggregate()
+	if agg.Totals.Devices != 0 {
+		t.Fatalf("empty accumulator reports %d devices", agg.Totals.Devices)
+	}
+	if _, err := json.Marshal(agg); err != nil {
+		t.Fatalf("empty aggregate does not marshal: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package metrics
+
+// Summary is the narrow per-device projection of Results that fleet-scale
+// aggregation folds. A fleet run never retains per-device Results — each
+// finished device is reduced to this fixed-size value, folded into streaming
+// histograms/counters, and dropped, keeping RSS independent of fleet size.
+//
+// Fields split into two families with different merge semantics:
+//
+//   - float64 ratios/energies fold into histograms (distribution across the
+//     fleet); float addition is non-associative, so any *sum* over these
+//     must be folded in a fixed order to stay byte-identical across shard
+//     counts (see fleet.Accumulator); and
+//   - int counters, which are exact and associative, so partial sums over
+//     any device grouping agree bit-for-bit.
+type Summary struct {
+	SimSeconds float64
+
+	// Paper headline ratios, each in [0,1] (see the Results methods of the
+	// same names for definitions).
+	IBOFraction         float64
+	DiscardedFraction   float64
+	HighQualityShare    float64
+	CaptureMissFraction float64
+
+	// Energy accounting. WastedJoules is harvest the device could not bank
+	// or spend (store-full spill plus converter losses already excluded):
+	// harvested minus consumed, clamped at zero for runs that ended with
+	// banked charge counted as consumed later.
+	HarvestedJoules float64
+	ConsumedJoules  float64
+	WastedJoules    float64
+
+	// Exact counters.
+	Captures             int
+	CaptureMisses        int
+	MissedInteresting    int
+	Arrivals             int
+	InterestingArrivals  int
+	IBOLossesInteresting int
+	FalseNegatives       int
+	ReportedInteresting  int
+	HighQInteresting     int
+	JobsCompleted        int
+	Degradations         int
+	Brownouts            int
+}
+
+// Summarize projects full run results down to the fold interface.
+func Summarize(r *Results) Summary {
+	wasted := r.HarvestedJoules - r.ConsumedJoules
+	if wasted < 0 {
+		wasted = 0
+	}
+	return Summary{
+		SimSeconds:           r.SimSeconds,
+		IBOFraction:          r.IBOFraction(),
+		DiscardedFraction:    r.DiscardedFraction(),
+		HighQualityShare:     r.HighQualityShare(),
+		CaptureMissFraction:  r.CaptureMissFraction(),
+		HarvestedJoules:      r.HarvestedJoules,
+		ConsumedJoules:       r.ConsumedJoules,
+		WastedJoules:         wasted,
+		Captures:             r.Captures,
+		CaptureMisses:        r.CaptureMisses,
+		MissedInteresting:    r.MissedInteresting,
+		Arrivals:             r.Arrivals,
+		InterestingArrivals:  r.InterestingArrivals,
+		IBOLossesInteresting: r.IBOLossesInteresting(),
+		FalseNegatives:       r.FalseNegatives,
+		ReportedInteresting:  r.ReportedInteresting(),
+		HighQInteresting:     r.HighQInteresting,
+		JobsCompleted:        r.JobsCompleted,
+		Degradations:         r.Degradations,
+		Brownouts:            r.Brownouts,
+	}
+}

@@ -224,7 +224,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 			return h.max // overflow bucket: no finite upper bound
 		}
 		lo := h.min
-		if i > 0 {
+		if i > 0 && h.layout.bounds[i-1] > lo {
+			// The first populated bucket's floor is min itself, not the
+			// bucket edge below it — otherwise Quantile(ε) < Quantile(0).
 			lo = h.layout.bounds[i-1]
 		}
 		hi := h.layout.bounds[i]

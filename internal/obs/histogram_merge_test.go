@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Merge is the correctness backbone of fleet aggregation: shard histograms
+// merge into the fleet histogram, and the quantiles served from the merged
+// result must match what a single whole-population histogram would report.
+// These property tests pin that contract over randomized layouts and data.
+
+// randLayout draws a random strictly-increasing bucket layout.
+func randLayout(rng *rand.Rand) Layout {
+	n := 1 + rng.Intn(40)
+	bounds := make([]float64, n)
+	b := rng.Float64() * 0.1
+	for i := range bounds {
+		b += 0.001 + rng.Float64()
+		bounds[i] = b
+	}
+	return Buckets(bounds...)
+}
+
+// randValues draws observations spanning in-range, boundary and overflow.
+func randValues(rng *rand.Rand, layout Layout, n int) []float64 {
+	bounds := layout.Bounds()
+	hi := bounds[len(bounds)-1] * 1.5
+	vals := make([]float64, n)
+	for i := range vals {
+		switch rng.Intn(10) {
+		case 0: // exact boundary
+			vals[i] = bounds[rng.Intn(len(bounds))]
+		case 1: // overflow bucket
+			vals[i] = hi + rng.Float64()*hi
+		default:
+			vals[i] = rng.Float64() * hi
+		}
+	}
+	return vals
+}
+
+// sameCounts asserts the count state (which quantiles read) is identical.
+func sameCounts(t *testing.T, label string, a, b *Histogram) {
+	t.Helper()
+	if a.Count() != b.Count() {
+		t.Fatalf("%s: count %d vs %d", label, a.Count(), b.Count())
+	}
+	if a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("%s: min/max (%g,%g) vs (%g,%g)", label, a.Min(), a.Max(), b.Min(), b.Max())
+	}
+	ca, cb := a.BucketCounts(), b.BucketCounts()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("%s: bucket %d count %d vs %d", label, i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestHistogramMergeOfSplitsEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		layout := randLayout(rng)
+		vals := randValues(rng, layout, 1+rng.Intn(500))
+
+		whole := NewHistogram(layout)
+		for _, v := range vals {
+			whole.Observe(v)
+		}
+
+		// Split into k contiguous parts, histogram each, merge in order.
+		k := 1 + rng.Intn(8)
+		merged := NewHistogram(layout)
+		start := 0
+		for part := 0; part < k; part++ {
+			end := start + (len(vals)-start)/(k-part)
+			h := NewHistogram(layout)
+			for _, v := range vals[start:end] {
+				h.Observe(v)
+			}
+			if err := merged.Merge(h); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			start = end
+		}
+
+		sameCounts(t, "merge-of-splits", whole, merged)
+		// Sum is float addition under different groupings: equal within
+		// rounding, not bitwise.
+		if diff := math.Abs(whole.Sum() - merged.Sum()); diff > 1e-9*math.Max(1, math.Abs(whole.Sum())) {
+			t.Fatalf("sum diverged: whole %g merged %g", whole.Sum(), merged.Sum())
+		}
+		// Quantiles read only counts/min/max/bounds, so they must agree
+		// exactly — this is what makes fleet quantiles shard-invariant.
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+			if wq, mq := whole.Quantile(q), merged.Quantile(q); wq != mq {
+				t.Fatalf("quantile(%g): whole %g merged %g", q, wq, mq)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		layout := randLayout(rng)
+		mk := func() *Histogram {
+			h := NewHistogram(layout)
+			for _, v := range randValues(rng, layout, rng.Intn(200)) {
+				h.Observe(v)
+			}
+			return h
+		}
+		h1, h2 := mk(), mk()
+
+		ab := h1.Clone()
+		if err := ab.Merge(h2); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		ba := h2.Clone()
+		if err := ba.Merge(h1); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		sameCounts(t, "commutativity", ab, ba)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		layout := randLayout(rng)
+		h := NewHistogram(layout)
+		for _, v := range randValues(rng, layout, 1+rng.Intn(300)) {
+			h.Observe(v)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			cur := h.Quantile(q)
+			if math.IsNaN(cur) {
+				t.Fatalf("quantile(%g) = NaN on non-empty histogram", q)
+			}
+			if cur < prev {
+				t.Fatalf("quantile not monotone: q=%g → %g after %g", q, cur, prev)
+			}
+			prev = cur
+		}
+		if got := h.Quantile(0); got != h.Min() {
+			t.Fatalf("quantile(0) = %g, want min %g", got, h.Min())
+		}
+		if got := h.Quantile(1); got != h.Max() {
+			t.Fatalf("quantile(1) = %g, want max %g", got, h.Max())
+		}
+	}
+}

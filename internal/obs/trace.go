@@ -56,14 +56,22 @@ type Exporter struct {
 	events      int
 
 	// Stream-integrity state.
-	lastTS  int64  // µs, non-decreasing
-	nextSeq uint64 // next expected arrival sequence number
-	openJob string // job id of the in-flight sched span, "" if none
-	openSeq string // seq of the in-flight sched span
-	powerOff bool  // inside a brownout → poweron span
+	lastTS   int64  // µs, non-decreasing
+	nextSeq  uint64 // next expected arrival sequence number
+	openJob  string // job id of the in-flight sched span, "" if none
+	openSeq  string // seq of the in-flight sched span
+	powerOff bool   // inside a brownout → poweron span
 
 	total  *Counter
 	byKind map[string]*Counter
+
+	// Per-exporter scratch, reused line to line so the enabled-export hot
+	// path stays near-zero-alloc (pinned by TestExporterAllocs): token and
+	// field slices for the parser, one byte buffer for rendered output.
+	// Nothing here survives a line except via explicit string copies.
+	toks   []string
+	fields [][2]string
+	buf    []byte
 }
 
 // NewExporter builds an exporter over the given sinks.
@@ -155,7 +163,7 @@ func field(fields [][2]string, key string) (string, bool) {
 
 // line parses and renders one event line: "<seconds> <kind> [k=v ...]".
 func (e *Exporter) line(s string) {
-	ts, kind, fields, err := parseLine(s)
+	ts, kind, fields, err := e.parseLineScratch(s)
 	if err != nil {
 		e.fail("%v", err)
 		return
@@ -243,57 +251,148 @@ func (e *Exporter) line(s string) {
 	e.render(ts, kind, fields)
 }
 
-// render emits the Chrome trace_event entries for one event.
+// render emits the Chrome trace_event entries for one event. Entries are
+// assembled by append into the exporter's scratch buffer — no fmt verbs on
+// the per-event path — producing bytes identical to the former
+// fmt.Fprintf-based renderer (the golden-trace fixtures pin this).
 func (e *Exporter) render(ts int64, kind string, fields [][2]string) {
-	args := func() string {
-		var b strings.Builder
-		for i, f := range fields {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fmt.Fprintf(&b, "%q:%s", f[0], jsonValue(f[1]))
+	instant := func(tid int64) {
+		b, ok := e.beginChrome()
+		if !ok {
+			return
 		}
-		return b.String()
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, kind)
+		b = append(b, `,"ph":"i","ts":`...)
+		b = strconv.AppendInt(b, ts, 10)
+		b = append(b, `,"pid":1,"tid":`...)
+		b = strconv.AppendInt(b, tid, 10)
+		b = append(b, `,"s":"t","args":{`...)
+		b = appendArgs(b, fields)
+		b = append(b, `}}`...)
+		e.endChrome(b)
+	}
+	jobSpan := func(ph byte, abort bool) {
+		b, ok := e.beginChrome()
+		if !ok {
+			return
+		}
+		job, _ := field(fields, "job")
+		b = append(b, `{"name":"job:`...)
+		b = append(b, job...)
+		b = append(b, `","ph":"`...)
+		b = append(b, ph)
+		b = append(b, `","ts":`...)
+		b = strconv.AppendInt(b, ts, 10)
+		b = append(b, `,"pid":1,"tid":`...)
+		b = strconv.AppendInt(b, tidCompute, 10)
+		b = append(b, `,"args":{`...)
+		if abort {
+			b = append(b, `"abort":true,`...)
+		}
+		b = appendArgs(b, fields)
+		b = append(b, `}}`...)
+		e.endChrome(b)
+	}
+	counter := func(name, valueKey, value string) {
+		b, ok := e.beginChrome()
+		if !ok {
+			return
+		}
+		b = append(b, `{"name":"`...)
+		b = append(b, name...)
+		b = append(b, `","ph":"C","ts":`...)
+		b = strconv.AppendInt(b, ts, 10)
+		b = append(b, `,"pid":1,"args":{"`...)
+		b = append(b, valueKey...)
+		b = append(b, `":`...)
+		b = append(b, value...)
+		b = append(b, `}}`...)
+		e.endChrome(b)
+	}
+	offSpan := func(ph byte) {
+		b, ok := e.beginChrome()
+		if !ok {
+			return
+		}
+		b = append(b, `{"name":"off","ph":"`...)
+		b = append(b, ph)
+		b = append(b, `","ts":`...)
+		b = strconv.AppendInt(b, ts, 10)
+		b = append(b, `,"pid":1,"tid":`...)
+		b = strconv.AppendInt(b, tidPower, 10)
+		b = append(b, `}`...)
+		e.endChrome(b)
 	}
 	switch kind {
 	case "brownout":
-		e.chrome(`{"name":"off","ph":"B","ts":%d,"pid":1,"tid":%d}`, ts, tidPower)
+		offSpan('B')
 	case "poweron":
-		e.chrome(`{"name":"off","ph":"E","ts":%d,"pid":1,"tid":%d}`, ts, tidPower)
+		offSpan('E')
 	case "sched":
-		job, _ := field(fields, "job")
-		e.chrome(`{"name":"job:%s","ph":"B","ts":%d,"pid":1,"tid":%d,"args":{%s}}`, job, ts, tidCompute, args())
+		jobSpan('B', false)
 	case "jobdone":
-		job, _ := field(fields, "job")
-		e.chrome(`{"name":"job:%s","ph":"E","ts":%d,"pid":1,"tid":%d,"args":{%s}}`, job, ts, tidCompute, args())
+		jobSpan('E', false)
 	case "jobabort":
-		job, _ := field(fields, "job")
-		e.chrome(`{"name":"job:%s","ph":"E","ts":%d,"pid":1,"tid":%d,"args":{"abort":true,%s}}`, job, ts, tidCompute, args())
+		jobSpan('E', true)
 	case "capture", "capture-miss", "arrive", "ibodrop":
-		e.chrome(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{%s}}`, kind, ts, tidCapture, args())
+		instant(tidCapture)
 		if kind == "arrive" {
 			if occ, ok := field(fields, "occ"); ok {
-				e.chrome(`{"name":"buffer","ph":"C","ts":%d,"pid":1,"args":{"occupancy":%s}}`, ts, occ)
+				counter("buffer", "occupancy", occ)
 			}
 		}
 	case "classify", "tx", "ckpt", "rollback":
-		e.chrome(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{%s}}`, kind, ts, tidCompute, args())
+		instant(tidCompute)
 	case "pid":
-		e.chrome(`{"name":"pid","ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{%s}}`, ts, tidController, args())
+		instant(tidController)
 		if lam, ok := field(fields, "lambda"); ok {
-			e.chrome(`{"name":"lambda","ph":"C","ts":%d,"pid":1,"args":{"lambda":%s}}`, ts, lam)
+			counter("lambda", "lambda", lam)
 		}
 		if corr, ok := field(fields, "corr"); ok {
-			e.chrome(`{"name":"correction","ph":"C","ts":%d,"pid":1,"args":{"correction":%s}}`, ts, corr)
+			counter("correction", "correction", corr)
 		}
 	}
 }
 
-// chrome writes one trace_event entry line, emitting the header (and the
-// process/thread metadata naming the lanes) first.
-func (e *Exporter) chrome(format string, args ...any) {
+// appendArgs renders the k=v fields as JSON object members.
+func appendArgs(b []byte, fields [][2]string) []byte {
+	for i, f := range fields {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, f[0])
+		b = append(b, ':')
+		b = appendJSONValue(b, f[1])
+	}
+	return b
+}
+
+// appendJSONValue is jsonValue in append form, with a first-byte screen so
+// the common non-numeric case never pays strconv.ParseFloat's error
+// allocation.
+func appendJSONValue(b []byte, v string) []byte {
+	if v == "true" || v == "false" {
+		return append(b, v...)
+	}
+	if len(v) > 0 {
+		switch c := v[0]; {
+		case c == '-' || c == '+' || c == '.' || ('0' <= c && c <= '9'),
+			c == 'n' || c == 'N' || c == 'i' || c == 'I': // NaN/Inf spellings
+			if _, err := strconv.ParseFloat(v, 64); err == nil {
+				return append(b, v...)
+			}
+		}
+	}
+	return strconv.AppendQuote(b, v)
+}
+
+// beginChrome starts one trace_event entry in the scratch buffer, emitting
+// the stream header first if needed; ok is false when the Chrome sink is
+// absent or the exporter is poisoned.
+func (e *Exporter) beginChrome() ([]byte, bool) {
 	if e.cfg.Chrome == nil || e.err != nil {
-		return
+		return nil, false
 	}
 	if !e.wroteHeader {
 		e.wroteHeader = true
@@ -305,12 +404,30 @@ func (e *Exporter) chrome(format string, args ...any) {
 			fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"controller"}}`, tidController)
 		if _, err := io.WriteString(e.cfg.Chrome, header); err != nil {
 			e.err = err
-			return
+			return nil, false
 		}
 	}
-	if _, err := fmt.Fprintf(e.cfg.Chrome, ",\n"+format, args...); err != nil {
+	return append(e.buf[:0], ',', '\n'), true
+}
+
+// endChrome flushes one assembled entry and returns the buffer to scratch.
+func (e *Exporter) endChrome(b []byte) {
+	if _, err := e.cfg.Chrome.Write(b); err != nil {
 		e.err = err
 	}
+	e.buf = b[:0]
+}
+
+// chrome writes one fmt-formatted trace_event entry — the cold path Close
+// uses for its end-of-run span closers; the per-event path renders by
+// append in render().
+func (e *Exporter) chrome(format string, args ...any) {
+	b, ok := e.beginChrome()
+	if !ok {
+		return
+	}
+	b = fmt.Appendf(b, format, args...)
+	e.endChrome(b)
 }
 
 // jsonl writes one event as a single JSON object line, echoing the parsed
@@ -319,15 +436,21 @@ func (e *Exporter) jsonl(ts int64, kind string, fields [][2]string) {
 	if e.cfg.JSONL == nil || e.err != nil {
 		return
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, `{"t_us":%d,"event":%q`, ts, kind)
+	b := append(e.buf[:0], `{"t_us":`...)
+	b = strconv.AppendInt(b, ts, 10)
+	b = append(b, `,"event":`...)
+	b = strconv.AppendQuote(b, kind)
 	for _, f := range fields {
-		fmt.Fprintf(&b, `,%q:%s`, f[0], jsonValue(f[1]))
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f[0])
+		b = append(b, ':')
+		b = appendJSONValue(b, f[1])
 	}
-	b.WriteString("}\n")
-	if _, err := io.WriteString(e.cfg.JSONL, b.String()); err != nil {
+	b = append(b, '}', '\n')
+	if _, err := e.cfg.JSONL.Write(b); err != nil {
 		e.err = err
 	}
+	e.buf = b[:0]
 }
 
 // jsonValue renders a k=v value as JSON: booleans and numbers pass through
@@ -343,13 +466,15 @@ func jsonValue(v string) string {
 	return strconv.Quote(v)
 }
 
-// parseLine splits "<seconds> <kind> [k=v ...]" into a µs timestamp, the
-// event kind, and the field pairs. Timestamps are converted from the
-// %.6f-second format by digit manipulation, not float arithmetic, so the
-// conversion is exact and platform-independent. Bracketed values
-// ("opts=[0 1]") may contain spaces.
-func parseLine(s string) (int64, string, [][2]string, error) {
-	tokens := splitFields(s)
+// parseLineScratch splits "<seconds> <kind> [k=v ...]" into a µs timestamp,
+// the event kind, and the field pairs, reusing the exporter's token/field
+// scratch so a well-formed line parses without allocating. Timestamps are
+// converted from the %.6f-second format by digit manipulation, not float
+// arithmetic, so the conversion is exact and platform-independent.
+// Bracketed values ("opts=[0 1]") may contain spaces. The returned slices
+// and strings alias s and the scratch — valid only until the next line.
+func (e *Exporter) parseLineScratch(s string) (int64, string, [][2]string, error) {
+	tokens := e.splitFieldsScratch(s)
 	if len(tokens) < 2 {
 		return 0, "", nil, fmt.Errorf("malformed event line %q", s)
 	}
@@ -358,7 +483,7 @@ func parseLine(s string) (int64, string, [][2]string, error) {
 		return 0, "", nil, fmt.Errorf("bad timestamp in %q: %v", s, err)
 	}
 	kind := tokens[1]
-	var fields [][2]string
+	fields := e.fields[:0]
 	for _, tok := range tokens[2:] {
 		k, v, ok := strings.Cut(tok, "=")
 		if !ok || k == "" {
@@ -366,26 +491,51 @@ func parseLine(s string) (int64, string, [][2]string, error) {
 		}
 		fields = append(fields, [2]string{k, v})
 	}
+	e.fields = fields
 	return ts, kind, fields, nil
 }
 
-// splitFields splits on spaces, joining bracketed groups ("opts=[0 1]").
-func splitFields(s string) []string {
-	raw := strings.Fields(s)
-	var out []string
-	for i := 0; i < len(raw); i++ {
-		tok := raw[i]
+// splitFieldsScratch splits on whitespace, joining bracketed groups
+// ("opts=[0 1]") by substring — tokens alias s, so splitting allocates
+// nothing beyond scratch growth.
+func (e *Exporter) splitFieldsScratch(s string) []string {
+	isSpace := func(c byte) bool {
+		return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+	}
+	out := e.toks[:0]
+	for i, n := 0, len(s); i < n; {
+		for i < n && isSpace(s[i]) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !isSpace(s[i]) {
+			i++
+		}
+		tok := s[start:i]
 		if strings.Contains(tok, "[") && !strings.Contains(tok, "]") {
-			for i+1 < len(raw) {
-				i++
-				tok += " " + raw[i]
-				if strings.Contains(raw[i], "]") {
+			for i < n {
+				for i < n && isSpace(s[i]) {
+					i++
+				}
+				if i >= n {
+					break
+				}
+				next := i
+				for i < n && !isSpace(s[i]) {
+					i++
+				}
+				tok = s[start:i]
+				if strings.Contains(s[next:i], "]") {
 					break
 				}
 			}
 		}
 		out = append(out, tok)
 	}
+	e.toks = out
 	return out
 }
 

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Shard is one contiguous slice [Start, End) of a batch's item index space.
+type Shard struct {
+	Index int // shard number, 0-based
+	Start int // first item index (inclusive)
+	End   int // last item index (exclusive)
+}
+
+// Len returns the number of items in the shard.
+func (s Shard) Len() int { return s.End - s.Start }
+
+// BatchConfig tunes RunBatch. The zero value of every field is a usable
+// default.
+type BatchConfig struct {
+	// Workers bounds concurrent shard executions; 0 → runtime.NumCPU().
+	Workers int
+	// ShardSize is the number of items per shard; 0 → 512.
+	ShardSize int
+	// Window bounds how many shards may be dispatched ahead of the fold
+	// cursor. Peak residency is O(Window · shard value), independent of the
+	// batch size: a shard's slot is released only after its value is folded
+	// and forgotten. 0 → 2 × Workers.
+	Window int
+	// OnProgress, when set, is called after each shard folds with the items
+	// completed so far and the batch total. Calls are serialized and arrive
+	// in shard order.
+	OnProgress func(done, total int)
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = 512
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * c.Workers
+	}
+	if c.Window < 2 {
+		c.Window = 2
+	}
+	return c
+}
+
+// Shards returns the shard count for total items at the given shard size.
+func Shards(total, shardSize int) int {
+	if total <= 0 || shardSize <= 0 {
+		return 0
+	}
+	return (total + shardSize - 1) / shardSize
+}
+
+// RunBatch executes total items sharded over a single-flight Pool and folds
+// each shard's value strictly in shard order.
+//
+// The ordered fold is the determinism backbone of fleet aggregation:
+// floating-point accumulation is non-associative, so only a fixed fold
+// order makes the aggregate byte-identical across worker counts and shard
+// windows. Shard execution itself is unordered and concurrent (bounded by
+// Workers); the collector buffers at most Window completed-but-unfolded
+// shards, forgets each shard's pool memo after folding, and publishes item
+// progress through the pool's Stats/Ledger counters.
+//
+// On the first error — from a shard run or from fold — the remaining work
+// is cancelled and that error is returned; because errors surface in shard
+// order, the reported failure is deterministic too. The returned Ledger
+// reflects the work actually executed.
+func RunBatch[V any](
+	ctx context.Context,
+	total int,
+	cfg BatchConfig,
+	run func(ctx context.Context, s Shard) (V, error),
+	fold func(s Shard, v V) error,
+) (Ledger, error) {
+	cfg = cfg.withDefaults()
+	nShards := Shards(total, cfg.ShardSize)
+	shardOf := func(i int) Shard {
+		end := (i + 1) * cfg.ShardSize
+		if end > total {
+			end = total
+		}
+		return Shard{Index: i, Start: i * cfg.ShardSize, End: end}
+	}
+
+	pool := New(func(ctx context.Context, key int) (V, error) {
+		return run(ctx, shardOf(key))
+	}, Config[int]{Workers: cfg.Workers})
+	pool.SetItemsTotal(total)
+	if nShards == 0 {
+		return pool.Ledger(), nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type slot struct {
+		v    V
+		err  error
+		done chan struct{}
+	}
+	slots := make([]slot, nShards)
+	for i := range slots {
+		slots[i].done = make(chan struct{})
+	}
+
+	// Dispatcher: launch shard executions ahead of the fold cursor, bounded
+	// by the window semaphore (released by the collector after each fold).
+	winSem := make(chan struct{}, cfg.Window)
+	var wg sync.WaitGroup
+	go func() {
+		for i := 0; i < nShards; i++ {
+			select {
+			case winSem <- struct{}{}:
+			case <-ctx.Done():
+				// Mark undispatched shards resolved so the collector's
+				// in-order drain never blocks on them.
+				for ; i < nShards; i++ {
+					s := &slots[i]
+					s.err = fmt.Errorf("runner: shard %d: %w", i, context.Cause(ctx))
+					close(s.done)
+				}
+				return
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s := &slots[i]
+				s.v, s.err = pool.Do(ctx, i)
+				close(s.done)
+			}(i)
+		}
+	}()
+
+	// Collector: fold strictly in shard order.
+	var firstErr error
+	done := 0
+	for i := 0; i < nShards; i++ {
+		s := &slots[i]
+		<-s.done
+		if firstErr != nil {
+			continue // draining after failure
+		}
+		if s.err != nil {
+			firstErr = s.err
+			cancel()
+			continue
+		}
+		sh := shardOf(i)
+		if err := fold(sh, s.v); err != nil {
+			firstErr = fmt.Errorf("runner: fold shard %d: %w", i, err)
+			cancel()
+			continue
+		}
+		var zero V
+		s.v = zero // release the folded value before the window reopens
+		pool.Forget(i)
+		done += sh.Len()
+		pool.AddItemsDone(sh.Len())
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(done, total)
+		}
+		<-winSem
+	}
+	wg.Wait()
+	return pool.Ledger(), firstErr
+}

@@ -1,0 +1,233 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunBatchOrderedFold pins the determinism backbone: fold always runs in
+// shard order, regardless of worker count, and sees exactly the shard bounds
+// RunBatch computed.
+func TestRunBatchOrderedFold(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const total, shardSize = 103, 10
+			var folded []Shard
+			led, err := RunBatch(context.Background(), total,
+				BatchConfig{Workers: workers, ShardSize: shardSize},
+				func(_ context.Context, s Shard) ([]int, error) {
+					out := make([]int, 0, s.Len())
+					for i := s.Start; i < s.End; i++ {
+						out = append(out, i)
+					}
+					return out, nil
+				},
+				func(s Shard, v []int) error {
+					if len(v) != s.Len() {
+						return fmt.Errorf("shard %d: %d values for %d items", s.Index, len(v), s.Len())
+					}
+					folded = append(folded, s)
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("RunBatch: %v", err)
+			}
+			want := Shards(total, shardSize)
+			if len(folded) != want {
+				t.Fatalf("folded %d shards, want %d", len(folded), want)
+			}
+			for i, s := range folded {
+				if s.Index != i {
+					t.Fatalf("fold order broken: position %d got shard %d", i, s.Index)
+				}
+				if s.Start != i*shardSize {
+					t.Fatalf("shard %d start %d, want %d", i, s.Start, i*shardSize)
+				}
+			}
+			if last := folded[len(folded)-1]; last.End != total {
+				t.Fatalf("last shard ends at %d, want %d", last.End, total)
+			}
+			if led.ItemsDone != total || led.ItemsTotal != total {
+				t.Fatalf("ledger items %d/%d, want %d/%d", led.ItemsDone, led.ItemsTotal, total, total)
+			}
+		})
+	}
+}
+
+// TestRunBatchProgress pins the progress surface: OnProgress arrives in shard
+// order with cumulative item counts, and the final Ledger matches.
+func TestRunBatchProgress(t *testing.T) {
+	const total, shardSize = 25, 10
+	var calls [][2]int
+	led, err := RunBatch(context.Background(), total,
+		BatchConfig{Workers: 4, ShardSize: shardSize, OnProgress: func(done, tot int) {
+			calls = append(calls, [2]int{done, tot})
+		}},
+		func(_ context.Context, s Shard) (int, error) { return s.Len(), nil },
+		func(Shard, int) error { return nil })
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	want := [][2]int{{10, 25}, {20, 25}, {25, 25}}
+	if len(calls) != len(want) {
+		t.Fatalf("progress calls %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("progress call %d = %v, want %v", i, calls[i], want[i])
+		}
+	}
+	if led.ItemsDone != total || led.ItemsTotal != total {
+		t.Fatalf("ledger items %d/%d, want %d/%d", led.ItemsDone, led.ItemsTotal, total, total)
+	}
+}
+
+// TestRunBatchErrorDeterministic pins that the reported error is the
+// lowest-indexed failing shard, whatever execution order the workers produce,
+// and that later shards stop being dispatched.
+func TestRunBatchErrorDeterministic(t *testing.T) {
+	const total, shardSize = 200, 10 // 20 shards
+	for trial := 0; trial < 5; trial++ {
+		var ran atomic.Int32
+		_, err := RunBatch(context.Background(), total,
+			BatchConfig{Workers: 8, ShardSize: shardSize},
+			func(_ context.Context, s Shard) (int, error) {
+				ran.Add(1)
+				if s.Index == 3 || s.Index == 7 {
+					return 0, fmt.Errorf("boom shard %d", s.Index)
+				}
+				return s.Len(), nil
+			},
+			func(Shard, int) error { return nil })
+		if err == nil || !strings.Contains(err.Error(), "boom shard 3") {
+			t.Fatalf("trial %d: err = %v, want boom shard 3 (lowest failing index)", trial, err)
+		}
+		if n := ran.Load(); int(n) >= Shards(total, shardSize) {
+			t.Fatalf("trial %d: all %d shards ran despite early failure", trial, n)
+		}
+	}
+}
+
+// TestRunBatchFoldError pins that a fold error cancels the batch and
+// surfaces wrapped with the shard index.
+func TestRunBatchFoldError(t *testing.T) {
+	sentinel := errors.New("fold sentinel")
+	_, err := RunBatch(context.Background(), 50,
+		BatchConfig{Workers: 2, ShardSize: 10},
+		func(_ context.Context, s Shard) (int, error) { return s.Len(), nil },
+		func(s Shard, _ int) error {
+			if s.Index == 2 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "shard 2") {
+		t.Fatalf("err = %v, want shard index in message", err)
+	}
+}
+
+// TestRunBatchCancellation pins that cancelling the context mid-batch
+// returns a context error rather than deadlocking the ordered drain.
+func TestRunBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var once sync.Once
+	_, err := RunBatch(ctx, 100,
+		BatchConfig{Workers: 2, ShardSize: 10, Window: 2},
+		func(ctx context.Context, s Shard) (int, error) {
+			once.Do(cancel)
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-release:
+				return s.Len(), nil
+			}
+		},
+		func(Shard, int) error { return nil })
+	close(release)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunBatchEmpty pins the zero-items edge: no shards, no fold calls, a
+// clean ledger.
+func TestRunBatchEmpty(t *testing.T) {
+	led, err := RunBatch(context.Background(), 0, BatchConfig{},
+		func(_ context.Context, s Shard) (int, error) {
+			return 0, errors.New("must not run")
+		},
+		func(Shard, int) error { return errors.New("must not fold") })
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if led.ItemsDone != 0 || led.ItemsTotal != 0 {
+		t.Fatalf("ledger items %d/%d, want 0/0", led.ItemsDone, led.ItemsTotal)
+	}
+}
+
+// TestPoolForget pins Forget's contract: a forgotten completed key re-executes
+// on the next Do; an in-flight key is left alone.
+func TestPoolForget(t *testing.T) {
+	var runs atomic.Int32
+	started := make(chan struct{})
+	block := make(chan struct{})
+	p := New(func(ctx context.Context, key string) (int, error) {
+		n := int(runs.Add(1))
+		if key == "slow" {
+			close(started)
+			<-block
+		}
+		return n, nil
+	}, Config[string]{Workers: 2})
+
+	ctx := context.Background()
+	if v, err := p.Do(ctx, "fast"); err != nil || v != 1 {
+		t.Fatalf("first Do = (%d, %v), want (1, nil)", v, err)
+	}
+	// Memoized: no re-execution.
+	if v, _ := p.Do(ctx, "fast"); v != 1 {
+		t.Fatalf("memoized Do = %d, want 1", v)
+	}
+	p.Forget("fast")
+	if p.Known("fast") {
+		t.Fatal("Forget left the key known")
+	}
+	if v, _ := p.Do(ctx, "fast"); v != 2 {
+		t.Fatalf("Do after Forget = %d, want re-executed value 2", v)
+	}
+
+	// Forget on an in-flight call must be a no-op (the memo stays until the
+	// call completes, so the waiter still gets its value).
+	go p.Do(ctx, "slow")
+	<-started
+	p.Forget("slow")
+	if !p.Known("slow") {
+		t.Fatal("Forget removed an in-flight call")
+	}
+	close(block)
+}
+
+// TestPoolItemsCounters pins the item-progress counters shared by Stats and
+// Ledger.
+func TestPoolItemsCounters(t *testing.T) {
+	p := New(func(ctx context.Context, key int) (int, error) { return key, nil },
+		Config[int]{Workers: 1})
+	p.SetItemsTotal(40)
+	p.AddItemsDone(15)
+	p.AddItemsDone(10)
+	if s := p.Stats(); s.ItemsDone != 25 || s.ItemsTotal != 40 {
+		t.Fatalf("stats items %d/%d, want 25/40", s.ItemsDone, s.ItemsTotal)
+	}
+	if l := p.Ledger(); l.ItemsDone != 25 || l.ItemsTotal != 40 {
+		t.Fatalf("ledger items %d/%d, want 25/40", l.ItemsDone, l.ItemsTotal)
+	}
+}

@@ -78,6 +78,11 @@ type Ledger struct {
 	// seconds (obs.LatencyBuckets layout); snapshots from Pool.Ledger are
 	// independent clones. Nil until the pool has run something.
 	Latency *obs.Histogram
+	// ItemsDone/ItemsTotal report batch-item progress (e.g. fleet devices
+	// completed / total) when the pool is driven by RunBatch or a caller
+	// that publishes item counts; both zero otherwise.
+	ItemsDone  int
+	ItemsTotal int
 }
 
 // String renders the ledger as a one-line summary.
@@ -100,21 +105,26 @@ type Pool[K comparable, V any] struct {
 	// its own completion (the stream is monotonic, +1 per event).
 	evMu sync.Mutex
 
-	mu      sync.Mutex
-	calls   map[K]*call[V]
-	ledger  Ledger
-	first   time.Time // first submission
-	last    time.Time // latest completion
-	waiting int       // executions queued for a worker slot
-	running int       // executions holding a worker slot
+	mu         sync.Mutex
+	calls      map[K]*call[V]
+	ledger     Ledger
+	first      time.Time // first submission
+	last       time.Time // latest completion
+	waiting    int       // executions queued for a worker slot
+	running    int       // executions holding a worker slot
+	itemsDone  int       // batch items folded so far (see AddItemsDone)
+	itemsTotal int
 }
 
 // Stats is an instantaneous occupancy snapshot: how many executions are
 // queued for a worker slot and how many hold one. Services use it as the
-// N in Little's-Law admission decisions.
+// N in Little's-Law admission decisions. ItemsDone/ItemsTotal mirror the
+// Ledger's batch-item progress for live "N of M devices" reporting.
 type Stats struct {
-	Waiting int
-	Running int
+	Waiting    int
+	Running    int
+	ItemsDone  int
+	ItemsTotal int
 }
 
 // call is one single-flight execution slot; val/err are written exactly
@@ -146,7 +156,41 @@ func (p *Pool[K, V]) Workers() int { return p.cfg.Workers }
 func (p *Pool[K, V]) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{Waiting: p.waiting, Running: p.running}
+	return Stats{Waiting: p.waiting, Running: p.running,
+		ItemsDone: p.itemsDone, ItemsTotal: p.itemsTotal}
+}
+
+// SetItemsTotal declares how many batch items the pool's keys cover, for
+// progress reporting (RunBatch calls this with the device count).
+func (p *Pool[K, V]) SetItemsTotal(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.itemsTotal = n
+}
+
+// AddItemsDone advances the batch-item progress counter by n.
+func (p *Pool[K, V]) AddItemsDone(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.itemsDone += n
+}
+
+// Forget drops the memoized value for key if its execution has completed,
+// freeing the memory it pins. In-flight executions are left alone. Batch
+// folds call this after consuming a shard's value so a bounded window of
+// shard results is resident at any time, regardless of batch size.
+func (p *Pool[K, V]) Forget(key K) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.calls[key]
+	if !ok {
+		return
+	}
+	select {
+	case <-c.done:
+		delete(p.calls, key)
+	default:
+	}
 }
 
 // Known reports whether key is already memoized or in flight: a Do for it
@@ -297,6 +341,8 @@ func (p *Pool[K, V]) Ledger() Ledger {
 		l.Elapsed = p.last.Sub(p.first)
 	}
 	l.Latency = p.lat.Clone()
+	l.ItemsDone = p.itemsDone
+	l.ItemsTotal = p.itemsTotal
 	return l
 }
 

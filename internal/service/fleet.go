@@ -1,0 +1,98 @@
+package service
+
+// POST /v1/fleet: one request simulates a whole device population. Fleet
+// sweeps differ from /v1/run in kind, not just size — minutes-long, bounded
+// memory by construction, results already aggregated — so they get their own
+// execution budget, a single-concurrency gate instead of the per-run
+// admission queue, and progress gauges (devices done/total, peak heap)
+// published through /metrics while the sweep runs.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"quetzal/internal/experiments"
+	"quetzal/internal/fleet"
+)
+
+// fleetRequest is the body of POST /v1/fleet: a FleetSpec plus transport
+// knobs.
+type fleetRequest struct {
+	experiments.FleetSpec
+	// TimeoutMs shortens the server's fleet budget; it can never extend it.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// fleetResponse is the body of a successful POST /v1/fleet.
+type fleetResponse struct {
+	// Plan echoes the fully resolved plan (defaults applied), so the caller
+	// can reproduce the sweep bit-for-bit from the response alone.
+	Plan      string           `json:"plan"`
+	Aggregate *fleet.Aggregate `json:"aggregate"`
+	Stats     fleet.RunStats   `json:"stats"`
+}
+
+// handleFleet is POST /v1/fleet: decode, validate through FleetSpec.Plan,
+// take the single-fleet slot, run.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	var req fleetRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		decodeBodyError(w, err)
+		return
+	}
+	plan, err := req.FleetSpec.Plan()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: "+err.Error(), 0)
+		return
+	}
+
+	// One fleet at a time: a second sweep would not queue behind the first in
+	// any useful way on the same cores — shed it with a hint instead.
+	if !s.fleetBusy.CompareAndSwap(false, true) {
+		s.mShed.Inc()
+		writeError(w, http.StatusTooManyRequests, "a fleet sweep is already running", s.cfg.FleetTimeout/4)
+		return
+	}
+	defer s.fleetBusy.Store(false)
+
+	timeout := s.cfg.FleetTimeout
+	if req.TimeoutMs > 0 {
+		if t := time.Duration(req.TimeoutMs) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	s.fleetTotal.Store(int64(plan.Devices))
+	s.fleetDone.Store(0)
+	s.fleetPeakHeap.Store(0)
+	s.cfg.Logf("quetzald: fleet start: %s", plan)
+
+	agg, stats, err := fleet.Run(ctx, plan, fleet.Options{
+		Workers: s.cfg.Workers,
+		OnProgress: func(done, _ int) {
+			s.fleetDone.Store(int64(done))
+		},
+		OnHeapSample: func(heap uint64) {
+			for {
+				prev := s.fleetPeakHeap.Load()
+				if heap <= prev || s.fleetPeakHeap.CompareAndSwap(prev, heap) {
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		s.mRunErrors.Inc()
+		s.cfg.Logf("quetzald: fleet failed: %v", err)
+		writeError(w, runErrorStatus(err), fmt.Sprintf("fleet: %v", err), 0)
+		return
+	}
+	s.mFleetsExecuted.Inc()
+	s.cfg.Logf("quetzald: fleet done: %d devices in %.1fs (%.0f devices/s, peak heap %.1f MiB)",
+		stats.Devices, stats.ElapsedSec, stats.DevicesPerSec, float64(stats.PeakHeapBytes)/(1<<20))
+	writeJSON(w, http.StatusOK, fleetResponse{Plan: plan.String(), Aggregate: agg, Stats: stats})
+}

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"quetzal/internal/fleet"
+)
+
+// TestFleetEndpoint runs a small real fleet end to end through the wire:
+// the response must carry the resolved plan, a populated aggregate, and
+// run stats, and the progress gauges must land on done == total.
+func TestFleetEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real fleet")
+	}
+	s, ts := newTestServer(t, Config{})
+	body := `{"devices": 16, "system": "qz", "env": "less-crowded", "events": 2}`
+	resp, out := postJSON(t, ts, "/v1/fleet", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var fr fleetResponse
+	if err := json.Unmarshal([]byte(out), &fr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !strings.Contains(fr.Plan, "fleet 16×qz/less-crowded") {
+		t.Fatalf("plan echo = %q", fr.Plan)
+	}
+	if fr.Aggregate == nil || fr.Aggregate.Totals.Devices != 16 {
+		t.Fatalf("aggregate = %+v", fr.Aggregate)
+	}
+	if fr.Stats.Devices != 16 || fr.Stats.ElapsedSec <= 0 || fr.Stats.PeakHeapBytes == 0 {
+		t.Fatalf("stats = %+v", fr.Stats)
+	}
+	if len(fr.Aggregate.Histograms) != 5 {
+		t.Fatalf("got %d histograms, want 5", len(fr.Aggregate.Histograms))
+	}
+
+	if done, total := s.fleetDone.Load(), s.fleetTotal.Load(); done != 16 || total != 16 {
+		t.Fatalf("progress gauges %d/%d, want 16/16", done, total)
+	}
+	// The gauges surface through /metrics.
+	mResp, metricsOut := get(t, ts, "/metrics")
+	if mResp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", mResp.StatusCode)
+	}
+	for _, want := range []string{
+		"quetzald_fleet_devices_done 16",
+		"quetzald_fleet_devices_total 16",
+		"quetzald_fleets_executed_total 1",
+	} {
+		if !strings.Contains(metricsOut, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metricsOut)
+		}
+	}
+}
+
+// TestFleetEndpointValidation pins the 400 surface: FleetSpec.Plan guards
+// the route exactly as KeySpec guards /v1/run.
+func TestFleetEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body, want string
+	}{
+		{"malformed", `{`, "bad request"},
+		{"unknown field", `{"devices": 1, "system": "qz", "env": "crowded", "warp": 9}`, "unknown field"},
+		{"zero devices", `{"devices": 0, "system": "qz", "env": "crowded"}`, "devices must be positive"},
+		{"ideal system", `{"devices": 5, "system": "ideal", "env": "crowded"}`, "no fleet form"},
+		{"work cap", fmt.Sprintf(`{"devices": %d, "system": "qz", "env": "crowded", "events": 100}`, 2_000_000), "work cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, out := postJSON(t, ts, "/v1/fleet", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", resp.StatusCode, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("body %q does not mention %q", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestFleetSingleFlight pins the concurrency gate: while one sweep runs,
+// a second request sheds with 429 instead of stacking onto the same cores.
+func TestFleetSingleFlight(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Hold the slot as if a sweep were in flight.
+	if !s.fleetBusy.CompareAndSwap(false, true) {
+		t.Fatal("fleet slot unexpectedly taken")
+	}
+	defer s.fleetBusy.Store(false)
+
+	var wg sync.WaitGroup
+	codes := make([]int, 3)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := http.Post(ts.URL+"/v1/fleet", "application/json",
+				strings.NewReader(`{"devices": 8, "system": "qz", "env": "less-crowded"}`))
+			if resp != nil {
+				codes[i] = resp.StatusCode
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status %d, want 429", i, code)
+		}
+	}
+}
+
+// TestFleetTimeout pins that a request deadline shorter than the sweep
+// cancels it and reports a timeout-class error.
+func TestFleetTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a real fleet")
+	}
+	_, ts := newTestServer(t, Config{})
+	// 1 ms cannot complete even one device.
+	resp, out := postJSON(t, ts, "/v1/fleet",
+		`{"devices": 1000, "system": "qz", "env": "less-crowded", "timeout_ms": 1}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+}
+
+// TestFleetResponseRoundTrips ensures the wire aggregate decodes back into
+// fleet.Aggregate without loss of the determinism surface (totals and
+// histogram buckets).
+func TestFleetResponseRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real fleet")
+	}
+	_, ts := newTestServer(t, Config{})
+	_, out := postJSON(t, ts, "/v1/fleet", `{"devices": 4, "system": "na", "env": "less-crowded", "events": 2}`)
+	var fr fleetResponse
+	if err := json.Unmarshal([]byte(out), &fr); err != nil {
+		t.Fatalf("decode: %v (%s)", err, out)
+	}
+	var check fleet.Aggregate
+	b, _ := json.Marshal(fr.Aggregate)
+	if err := json.Unmarshal(b, &check); err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if check.Totals != fr.Aggregate.Totals {
+		t.Fatal("totals did not survive a JSON round trip")
+	}
+}

@@ -73,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/run", s.wrap("run", s.handleRun))
 	mux.Handle("POST /v1/sweep", s.wrap("sweep", s.handleSweep))
+	mux.Handle("POST /v1/fleet", s.wrap("fleet", s.handleFleet))
 	mux.Handle("GET /v1/runs/{id}", s.wrap("get_run", s.handleGetRun))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

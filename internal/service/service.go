@@ -42,6 +42,9 @@ type Config struct {
 	// RunTimeout is the per-request execution budget; requests may shorten
 	// it (timeout_ms) but never extend it. 0 → 60s.
 	RunTimeout time.Duration
+	// FleetTimeout is the POST /v1/fleet execution budget — fleet sweeps are
+	// minutes-long by design, so they get their own clock. 0 → 30m.
+	FleetTimeout time.Duration
 	// MaxQueue bounds the admission queue (requests admitted but not yet
 	// finished); beyond it requests shed with 429. 0 → 4 × workers.
 	MaxQueue int
@@ -69,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RunTimeout <= 0 {
 		c.RunTimeout = 60 * time.Second
+	}
+	if c.FleetTimeout <= 0 {
+		c.FleetTimeout = 30 * time.Minute
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 4 * c.Workers
@@ -128,16 +134,24 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup // live HTTP requests, for Drain
 
+	// Fleet-sweep state: one sweep at a time, with progress published as
+	// gauges so /metrics shows a minutes-long sweep moving.
+	fleetBusy     atomic.Bool
+	fleetDone     atomic.Int64
+	fleetTotal    atomic.Int64
+	fleetPeakHeap atomic.Uint64
+
 	mu      sync.Mutex
 	records map[string]*record
 	order   []string // insertion order, for bounded eviction
 
 	// Metric handles, resolved once (hot paths pay one atomic op).
-	mRunsExecuted *obs.Counter
-	mCacheHits    *obs.Counter
-	mRunErrors    *obs.Counter
-	mShed         *obs.Counter
-	mPanics       *obs.Counter
+	mRunsExecuted   *obs.Counter
+	mCacheHits      *obs.Counter
+	mRunErrors      *obs.Counter
+	mShed           *obs.Counter
+	mPanics         *obs.Counter
+	mFleetsExecuted *obs.Counter
 }
 
 // New builds a Server around cfg.
@@ -154,6 +168,7 @@ func New(cfg Config) *Server {
 	s.mRunErrors = s.reg.Counter("quetzald_run_errors_total")
 	s.mShed = s.reg.Counter("quetzald_shed_total")
 	s.mPanics = s.reg.Counter("quetzald_panics_total")
+	s.mFleetsExecuted = s.reg.Counter("quetzald_fleets_executed_total")
 
 	s.pool = runner.New(runner.Func[experiments.RunKey, metrics.Results](cfg.Run),
 		runner.Config[experiments.RunKey]{
@@ -268,6 +283,9 @@ func (s *Server) refreshGauges() {
 	s.reg.Gauge("quetzald_service_seconds_ewma").Set(st.ServiceEWMA)
 	s.reg.Gauge("quetzald_lambda").Set(st.Lambda)
 	s.reg.Gauge("quetzald_predicted_occupancy").Set(st.PredictedOcc)
+	s.reg.Gauge("quetzald_fleet_devices_done").Set(float64(s.fleetDone.Load()))
+	s.reg.Gauge("quetzald_fleet_devices_total").Set(float64(s.fleetTotal.Load()))
+	s.reg.Gauge("quetzald_fleet_peak_heap_bytes").Set(float64(s.fleetPeakHeap.Load()))
 	l := s.pool.Ledger()
 	s.reg.Gauge("quetzald_run_seconds_total").Set(l.RunTime.Seconds())
 	s.reg.Gauge("quetzald_queue_wait_seconds_total").Set(l.QueueWait.Seconds())

@@ -233,6 +233,20 @@ func (s *Simulator) RunContext(ctx context.Context) (metrics.Results, error) {
 	return res, err
 }
 
+// RunIntoContext is RunContext through the engine's results-sink seam: on
+// success the sink receives a pointer to the machine's own results (valid
+// only inside the callback) instead of a by-value copy. Fleet runs use this
+// to reduce each device to a metrics.Summary without copying Results.
+func (s *Simulator) RunIntoContext(ctx context.Context, sink func(*metrics.Results)) error {
+	err := s.m.RunInto(ctx, s.stepper, sink)
+	if s.exporter != nil {
+		if cerr := s.exporter.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
 // Machine exposes the underlying engine machine, for tests that hook or
 // perturb the live device state.
 func (s *Simulator) Machine() *engine.Machine { return s.m }
