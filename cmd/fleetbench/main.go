@@ -6,7 +6,8 @@
 // Usage:
 //
 //	fleetbench [-sizes 10000,100000,1000000] [-system qz] [-env less-crowded]
-//	           [-jitter 0.1] [-seed 42] [-out BENCH_fleet.json] [-progress]
+//	           [-stepper lockstep|event] [-jitter 0.1] [-seed 42]
+//	           [-out BENCH_fleet.json] [-progress]
 package main
 
 import (
@@ -42,6 +43,7 @@ type benchFile struct {
 	Description string         `json:"description"`
 	Environment map[string]any `json:"environment"`
 	Plan        string         `json:"plan"`
+	Engine      string         `json:"engine"`
 	Runs        []sizeRun      `json:"runs"`
 	Notes       string         `json:"notes,omitempty"`
 }
@@ -65,6 +67,7 @@ func main() {
 		envName  = flag.String("env", "less-crowded", "sensing environment")
 		jitter   = flag.Float64("jitter", 0.1, "per-device parameter jitter fraction")
 		seed     = flag.Int64("seed", 42, "fleet seed")
+		stepper  = flag.String("stepper", "lockstep", "time-advance engine: lockstep (default), event or fixed — aggregate_sha256 is identical for lockstep and event")
 		out      = flag.String("out", "BENCH_fleet.json", "output file")
 		progress = flag.Bool("progress", false, "log shard progress to stderr")
 		notes    = flag.String("notes", "", "notes field for the output file")
@@ -100,6 +103,7 @@ func main() {
 			System:  *system,
 			Env:     *envName,
 			Seed:    *seed,
+			Engine:  *stepper,
 			Jitter:  *jitter,
 		}
 		plan, err := spec.Plan()
@@ -109,6 +113,7 @@ func main() {
 		}
 		if i == 0 {
 			file.Plan = plan.String() // sizes vary; the rest of the plan is shared
+			file.Engine = plan.Engine.String()
 		}
 
 		opts := fleet.Options{}

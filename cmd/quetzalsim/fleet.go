@@ -40,13 +40,14 @@ func validateFleetFlags(f fleetFlags, timeline, traceOut, tlSVG string) error {
 
 // runFleet executes the fleet and renders it as JSON (an aggregate +
 // stats document) or a human summary.
-func runFleet(f fleetFlags, system, envName string, events int, seed int64, jsonOut bool) error {
+func runFleet(f fleetFlags, system, envName string, events int, seed int64, engine string, jsonOut bool) error {
 	spec := experiments.FleetSpec{
 		Devices:     f.devices,
 		System:      system,
 		Env:         envName,
 		Events:      events,
 		Seed:        seed,
+		Engine:      engine, // "" → the fleet default (lockstep)
 		ShardSize:   f.shard,
 		Jitter:      f.jitter,
 		Correlation: f.correlation,

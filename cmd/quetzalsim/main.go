@@ -7,7 +7,8 @@
 //	quetzalsim [-system qz|na|ad|cn|pzo|pzi|fixed-NN|qz-fcfs|...]
 //	           [-env more-crowded|crowded|less-crowded|msp430-crowded]
 //	           [-mcu apollo4|msp430] [-events N] [-seed N] [-cells N]
-//	           [-capture SECONDS] [-v] [-json] [-fast]
+//	           [-capture SECONDS] [-v] [-json]
+//	           [-stepper fixed|event|lockstep] [-fast]
 //	           [-timeline FILE.csv] [-timelinesvg FILE.svg]
 //	           [-trace FILE.json] [-metrics FILE.txt] [-pprof HOST:PORT]
 //
@@ -16,6 +17,7 @@
 //	quetzalsim -system qz -env crowded -events 300
 //	quetzalsim -system na -env more-crowded -mcu msp430
 //	quetzalsim -system fixed-50 -env less-crowded -v
+//	quetzalsim -system qz -env crowded -stepper lockstep   # fastest engine, bit-identical to event
 //	quetzalsim -system qz -env crowded -trace run.json   # open in chrome://tracing
 //	quetzalsim -fleet 100000 -system qz -env less-crowded -progress   # population sweep
 package main
@@ -89,7 +91,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "print full counters")
 		timeline = flag.String("timeline", "", "write a per-second CSV timeline to this file")
 		jsonOut  = flag.Bool("json", false, "emit the full result record as JSON")
-		fast     = flag.Bool("fast", false, "use the event-driven engine (~100x faster)")
+		fast     = flag.Bool("fast", false, "use the event-driven engine (~100x faster); shorthand for -stepper event")
+		stepper  = flag.String("stepper", "", "time-advance engine: fixed (paper-faithful default), event, or lockstep (fastest, bit-identical to event)")
 		tlSVG    = flag.String("timelinesvg", "", "render the timeline as an SVG line chart (requires -timeline)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing)")
 		metOut   = flag.String("metrics", "", "write a metrics text dump to this file after the run")
@@ -102,6 +105,12 @@ func main() {
 		progress = flag.Bool("progress", false, "log fleet shard progress to stderr")
 	)
 	flag.Parse()
+
+	stepperName, err := resolveStepper(*stepper, *fast)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *fleetN > 0 {
 		ff := fleetFlags{devices: *fleetN, shard: *shard, jitter: *jitter,
@@ -116,7 +125,7 @@ func main() {
 		if isFlagSet("events") {
 			fleetEvents = *events
 		}
-		if err := runFleet(ff, *system, *envName, fleetEvents, *seed, *jsonOut); err != nil {
+		if err := runFleet(ff, *system, *envName, fleetEvents, *seed, stepperName, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -139,8 +148,12 @@ func main() {
 	setup.Seed = *seed
 	setup.Cells = *cells
 	setup.CapturePeriod = *capture
-	if *fast {
-		setup.Engine = sim.EventDriven
+	if stepperName != "" {
+		setup.Engine, err = experiments.ParseEngineKind(stepperName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	setup.Profile, err = resolveMCU(*mcu)
 	if err != nil {
@@ -295,6 +308,20 @@ func renderTimelineSVG(csvPath, svgPath string) error {
 	}
 	defer out.Close()
 	return chart.WriteSVG(out)
+}
+
+// resolveStepper merges -stepper and the legacy -fast shorthand into one
+// engine wire name ("" = the caller's default: fixed for single runs,
+// lockstep for fleets). -fast is an alias for -stepper event; naming a
+// different stepper alongside it is a conflict, not a silent override.
+func resolveStepper(stepper string, fast bool) (string, error) {
+	if fast && stepper != "" && stepper != "event" {
+		return "", fmt.Errorf("-fast is shorthand for -stepper event; it conflicts with -stepper %s", stepper)
+	}
+	if fast {
+		return "event", nil
+	}
+	return stepper, nil
 }
 
 // isFlagSet reports whether a flag was passed explicitly on the command

@@ -125,6 +125,41 @@ func (s *Store) Capacity() float64 { return s.eMax }
 // On reports whether the device is powered (hysteresis state).
 func (s *Store) On() bool { return s.on }
 
+// Floor returns the brown-out energy floor (½CV_off²): Draw and DrawPriority
+// never take the store below it.
+func (s *Store) Floor() float64 { return s.eOff }
+
+// RestartThreshold returns the hysteresis restart energy (½CV_on²): a
+// browned-out store turns back on when Harvest reaches it.
+func (s *Store) RestartThreshold() float64 { return s.eOn }
+
+// ReplayLedger returns the raw accumulator state the lockstep stepper's
+// crawl replay advances out of line: the stored energy and the lifetime
+// harvested/consumed sums. Pair with SetReplayLedger.
+func (s *Store) ReplayLedger() (stored, harvested, consumed float64) {
+	return s.stored, s.harvested, s.consumed
+}
+
+// SetReplayLedger commits replayed accumulator state back into the store.
+// It is the write half of the lockstep crawl-replay seam (see
+// engine/lockstep.go): the caller must have produced the values by the exact
+// Harvest/DrawPriority arithmetic, step by step — this method only guards
+// the physical envelope, it cannot re-derive the trajectory. The hysteresis
+// state is deliberately untouched: the replayed regime never crosses a
+// threshold (that is one of its entry conditions).
+func (s *Store) SetReplayLedger(stored, harvested, consumed float64) {
+	if stored < 0 || stored > s.eMax {
+		panic(fmt.Sprintf("energy: replay ledger stored %g outside [0, %g]", stored, s.eMax))
+	}
+	if harvested < s.harvested || consumed < s.consumed {
+		panic(fmt.Sprintf("energy: replay ledger must be monotone (harvested %g→%g, consumed %g→%g)",
+			s.harvested, harvested, s.consumed, consumed))
+	}
+	s.stored = stored
+	s.harvested = harvested
+	s.consumed = consumed
+}
+
 // Harvest adds power·dt·efficiency to the store, clamped at the regulation
 // ceiling, and may transition the device back on; the configured leakage
 // drains first. power and dt must be non-negative (watts, seconds).

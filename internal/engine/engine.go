@@ -44,6 +44,16 @@ const (
 	// for large sweeps; use FixedIncrement for the paper-faithful
 	// reference.
 	EventDriven
+	// Lockstep is the batch-throughput stepper: it commits the exact same
+	// segment sequence as EventDriven (the event stream and results are
+	// bit-identical — pinned by golden parity and the three-way differential
+	// oracle), but detects fixed-point "crawl" regimes — a store pinned at
+	// the brown-out floor with a pending capture, advancing in minSegment
+	// steps — and replays them as closed-form runs of constant-addend
+	// updates instead of full segment/step dispatch. Batch (NewBatch) runs
+	// many machines under it in lockstep rounds over shared power segments.
+	// See DESIGN.md §13.
+	Lockstep
 )
 
 // String names the engine kind. The public name of this type through the
@@ -54,6 +64,8 @@ func (k Kind) String() string {
 		return "fixed-increment"
 	case EventDriven:
 		return "event-driven"
+	case Lockstep:
+		return "lockstep"
 	default:
 		return fmt.Sprintf("EngineKind(%d)", int(k))
 	}
@@ -63,8 +75,11 @@ func (k Kind) String() string {
 // values fall back to the fixed-increment reference, mirroring the
 // facade's historical switch.
 func StepperFor(k Kind) Stepper {
-	if k == EventDriven {
+	switch k {
+	case EventDriven:
 		return EventStepper{}
+	case Lockstep:
+		return LockstepStepper{}
 	}
 	return FixedStepper{}
 }

@@ -52,6 +52,11 @@ type Machine struct {
 	observers []Observer
 	verified  bool // an InvariantObserver subsumes the end-of-run Check
 
+	// replaySteps counts steps committed by the lockstep crawl replay
+	// (lockstep.go) instead of the full segment/step path; tests assert the
+	// fast path actually engages on crawl-heavy workloads.
+	replaySteps int
+
 	// StepHook, when set (tests only), runs before every step/segment;
 	// mutation tests use it to inject accounting bugs mid-run and prove
 	// the invariant checker catches them.
@@ -123,10 +128,20 @@ type jobExec struct {
 
 // New validates the configuration and builds a Machine.
 func New(cfg Config) (*Machine, error) {
-	if err := cfg.normalize(); err != nil {
+	m := new(Machine)
+	if err := initMachine(m, cfg); err != nil {
 		return nil, err
 	}
-	m := &Machine{
+	return m, nil
+}
+
+// initMachine initialises a Machine in place — the construction seam NewBatch
+// uses to build a slab of machines with one allocation for the structs.
+func initMachine(m *Machine, cfg Config) error {
+	if err := cfg.normalize(); err != nil {
+		return err
+	}
+	*m = Machine{
 		cfg:   cfg,
 		app:   cfg.App,
 		ctl:   cfg.Controller,
@@ -146,7 +161,7 @@ func New(cfg Config) (*Machine, error) {
 			m.ovhPower = e / t
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // Observe appends observers to the pipeline. Register before Run; the
@@ -221,6 +236,11 @@ func (m *Machine) Store() *energy.Store { return m.store }
 // PendingCaptures counts frames still inside the capture pipeline.
 func (m *Machine) PendingCaptures() int { return m.captures.Len() }
 
+// ReplayedSteps counts steps the lockstep crawl replay committed without
+// full segment/step dispatch (0 under the other steppers or when the fast
+// path never engaged).
+func (m *Machine) ReplayedSteps() int { return m.replaySteps }
+
 // Phase names the machine's current activity, in the device's priority
 // order: "off", "capture", "restore", "exec:<job>", or "idle".
 func (m *Machine) Phase() string {
@@ -272,6 +292,12 @@ func (m *Machine) Hook(step int) {
 	}
 }
 
+// logging reports whether an event log is configured. Hot call sites guard
+// logf calls with it: the variadic args are boxed at the call site, so an
+// unguarded logf heap-allocates even when no log is attached (that boxing
+// was the entire 1.6k-allocs/run cost of the pre-guard hot path).
+func (m *Machine) logging() bool { return m.cfg.EventLog != nil }
+
 // logf appends one line to the event log, when configured. The stream is
 // the behavioral fingerprint the golden-trace layer hashes, so call sites
 // must emit deterministically (no map iteration, no wall-clock).
@@ -299,12 +325,16 @@ func (m *Machine) Step(dt float64) {
 	on := m.store.On()
 	if m.wasOn && !on {
 		// Power failed: apply the checkpoint policy to in-flight work.
-		m.logf("%.6f brownout\n", m.now)
+		if m.logging() {
+			m.logf("%.6f brownout\n", m.now)
+		}
 		m.onPowerFailure()
 	}
 	if !m.wasOn && on {
 		// Power came back: owe the checkpoint restore before any work.
-		m.logf("%.6f poweron\n", m.now)
+		if m.logging() {
+			m.logf("%.6f poweron\n", m.now)
+		}
 		m.restoreLeft = m.cfg.Profile.MCU.RestoreTime
 	}
 	m.wasOn = on
@@ -381,10 +411,14 @@ func (m *Machine) capture() {
 		if interesting {
 			m.res.MissedInteresting++
 		}
-		m.logf("%.6f capture-miss interesting=%v\n", m.now, interesting)
+		if m.logging() {
+			m.logf("%.6f capture-miss interesting=%v\n", m.now, interesting)
+		}
 		return
 	}
-	m.logf("%.6f capture different=%v interesting=%v\n", m.now, different, interesting)
+	if m.logging() {
+		m.logf("%.6f capture different=%v interesting=%v\n", m.now, different, interesting)
+	}
 	m.captures.Push(pendingCapture{
 		remaining:   m.app.CaptureTexe,
 		different:   different,
@@ -418,10 +452,14 @@ func (m *Machine) finishCapture(c pendingCapture) {
 		} else {
 			m.res.IBODropsOther++
 		}
-		m.logf("%.6f ibodrop seq=%d interesting=%v\n", m.now, in.Seq, c.interesting)
+		if m.logging() {
+			m.logf("%.6f ibodrop seq=%d interesting=%v\n", m.now, in.Seq, c.interesting)
+		}
 		return
 	}
-	m.logf("%.6f arrive seq=%d interesting=%v occ=%d\n", m.now, in.Seq, c.interesting, m.buf.Len())
+	if m.logging() {
+		m.logf("%.6f arrive seq=%d interesting=%v occ=%d\n", m.now, in.Seq, c.interesting, m.buf.Len())
+	}
 }
 
 // invokeController runs the scheduling + degradation logic, charging its
@@ -497,11 +535,13 @@ func (m *Machine) invokeController(dt float64) {
 			e.options[i] = 0
 		}
 	}
-	if rt, ok := m.ctl.(*core.Runtime); ok {
+	if rt, ok := m.ctl.(*core.Runtime); ok && m.logging() {
 		m.logf("%.6f pid lambda=%.6f corr=%.6f\n", m.now, rt.Lambda(), rt.Correction())
 	}
-	m.logf("%.6f sched seq=%d job=%d opts=%v degraded=%v ibo=%v\n",
-		m.now, in.Seq, dec.JobID, e.options, dec.Degraded, dec.IBOPredicted)
+	if m.logging() {
+		m.logf("%.6f sched seq=%d job=%d opts=%v degraded=%v ibo=%v\n",
+			m.now, in.Seq, dec.JobID, e.options, dec.Degraded, dec.IBOPredicted)
+	}
 	e.taskIdx = 0
 	e.positive = true
 	e.startedAt = m.now
@@ -587,7 +627,7 @@ func (m *Machine) onPowerFailure() {
 		// JIT checkpointing: progress preserved exactly.
 		rolled = false
 	}
-	if rolled {
+	if rolled && m.logging() {
 		m.logf("%.6f rollback job=%d task=%d left=%.6f restarts=%d\n",
 			m.now, e.job.ID, e.taskIdx, e.remaining, e.restarts)
 	}
@@ -629,7 +669,9 @@ func (m *Machine) runTask(dt float64) {
 		e.ckptAt-e.remaining >= m.cfg.CheckpointInterval {
 		e.ckptAt = e.remaining
 		m.store.Draw(m.cfg.Profile.MCU.RestorePower, m.cfg.Profile.MCU.RestoreTime)
-		m.logf("%.6f ckpt job=%d task=%d left=%.6f\n", m.now, e.job.ID, e.taskIdx, e.remaining)
+		if m.logging() {
+			m.logf("%.6f ckpt job=%d task=%d left=%.6f\n", m.now, e.job.ID, e.taskIdx, e.remaining)
+		}
 	}
 
 	if e.remaining > 0 {
@@ -659,12 +701,16 @@ func (m *Machine) runTask(dt float64) {
 				m.res.TrueNegatives++
 			}
 		}
-		m.logf("%.6f classify seq=%d opt=%d positive=%v\n",
-			m.now, e.input.Seq, e.options[e.taskIdx], e.positive)
+		if m.logging() {
+			m.logf("%.6f classify seq=%d opt=%d positive=%v\n",
+				m.now, e.input.Seq, e.options[e.taskIdx], e.positive)
+		}
 	case model.Transmit:
 		m.recordPacket(opt, e.input.Interesting)
-		m.logf("%.6f tx seq=%d hq=%v interesting=%v\n",
-			m.now, e.input.Seq, opt.HighQuality, e.input.Interesting)
+		if m.logging() {
+			m.logf("%.6f tx seq=%d hq=%v interesting=%v\n",
+				m.now, e.input.Seq, opt.HighQuality, e.input.Interesting)
+		}
 	}
 
 	// Advance to the next runnable task.
@@ -711,8 +757,10 @@ func (m *Machine) completeJob() {
 	// follow-up job if the classify chain stayed positive. Re-tagging
 	// cannot overflow: the image never left its memory slot.
 	spawned := e.job.SpawnJobID != model.NoSpawn && e.positive
-	m.logf("%.6f jobdone seq=%d job=%d spawned=%v restarts=%d\n",
-		m.now, e.input.Seq, e.job.ID, spawned, e.restarts)
+	if m.logging() {
+		m.logf("%.6f jobdone seq=%d job=%d spawned=%v restarts=%d\n",
+			m.now, e.input.Seq, e.job.ID, spawned, e.restarts)
+	}
 	idx := m.buf.IndexOfSeq(e.input.Seq)
 	if idx >= 0 {
 		if spawned {
@@ -749,7 +797,9 @@ func (m *Machine) abortJob() {
 	if e.input.Interesting {
 		m.res.AbortedInteresting++
 	}
-	m.logf("%.6f jobabort seq=%d job=%d\n", m.now, e.input.Seq, e.job.ID)
+	if m.logging() {
+		m.logf("%.6f jobabort seq=%d job=%d\n", m.now, e.input.Seq, e.job.ID)
+	}
 	if idx := m.buf.IndexOfSeq(e.input.Seq); idx >= 0 {
 		m.buf.RemoveAt(idx)
 	}

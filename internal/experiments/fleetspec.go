@@ -78,7 +78,10 @@ type FleetSpec struct {
 	Profile string `json:"profile,omitempty"`
 	Events  int    `json:"events,omitempty"`
 	Seed    int64  `json:"seed,omitempty"`
-	// Engine defaults to "event" — fleets are population sweeps, and the
+	// Engine defaults to "lockstep" — fleets are population sweeps with no
+	// per-device observers, exactly the regime the lockstep stepper's crawl
+	// replay targets, and it is bit-identical to "event" (so aggregates and
+	// their sha256 fingerprints do not change with the default). The
 	// fixed-increment reference stepper would make 1M devices intractable.
 	Engine    string  `json:"engine,omitempty"`
 	ShardSize int     `json:"shard_size,omitempty"`
@@ -140,7 +143,7 @@ func (sp FleetSpec) Plan() (FleetPlan, error) {
 		return FleetPlan{}, fmt.Errorf("unknown profile %q", sp.Profile)
 	}
 
-	engine := sim.EventDriven
+	engine := sim.Lockstep
 	if sp.Engine != "" {
 		var err error
 		if engine, err = ParseEngineKind(sp.Engine); err != nil {

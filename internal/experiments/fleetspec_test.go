@@ -20,7 +20,7 @@ func TestFleetSpecPlanDefaults(t *testing.T) {
 		Profile:     ProfileApollo4,
 		Events:      DefaultFleetEvents,
 		Seed:        DefaultFleetSeed,
-		Engine:      sim.EventDriven,
+		Engine:      sim.Lockstep,
 		ShardSize:   DefaultFleetShard,
 		Jitter:      0,
 		Correlation: DefaultFleetCorrelation,

@@ -48,7 +48,7 @@ type KeySpec struct {
 	TaskWindow    int     `json:"task_window,omitempty"`
 	ArrivalWindow int     `json:"arrival_window,omitempty"`
 	CapturePeriod float64 `json:"capture_period,omitempty"`
-	Engine        string  `json:"engine,omitempty"` // "", "fixed", "event"
+	Engine        string  `json:"engine,omitempty"` // "", "fixed", "event", "lockstep"
 
 	BufferCapacity     int     `json:"buffer_capacity,omitempty"`
 	Jitter             float64 `json:"jitter,omitempty"`
@@ -92,15 +92,18 @@ func EnvByName(name string) (Environment, bool) {
 }
 
 // ParseEngineKind maps the wire names to engine kinds ("" → fixed, the
-// paper-faithful default).
+// paper-faithful default). "lockstep" selects the batched fast path, bit-
+// identical to "event" (pinned by golden parity and the three-way oracle).
 func ParseEngineKind(name string) (sim.EngineKind, error) {
 	switch name {
 	case "", "fixed":
 		return sim.FixedIncrement, nil
 	case "event":
 		return sim.EventDriven, nil
+	case "lockstep":
+		return sim.Lockstep, nil
 	}
-	return 0, fmt.Errorf("unknown engine %q (want fixed or event)", name)
+	return 0, fmt.Errorf("unknown engine %q (want fixed, event or lockstep)", name)
 }
 
 // ParseCheckpointPolicy maps the wire names to checkpoint policies ("" →

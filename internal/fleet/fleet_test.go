@@ -79,6 +79,37 @@ func TestFleetDeterminism(t *testing.T) {
 	}
 }
 
+// TestFleetDeterminismLockstep pins the engine half of the fleet contract:
+// swapping the stepper between event-driven and lockstep may not move a
+// single bit of the marshaled Aggregate. With TestFleetDeterminism (which
+// runs under the default lockstep engine) this proves the fleet default can
+// change speed without changing physics.
+func TestFleetDeterminismLockstep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two small fleets")
+	}
+	run := func(engine string) string {
+		plan := testPlan(t, 48, func(sp *experiments.FleetSpec) { sp.Engine = engine })
+		agg, _, err := Run(context.Background(), plan, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if agg.Totals.Arrivals == 0 || agg.SimSeconds <= 0 {
+			t.Fatalf("engine %s: degenerate aggregate", engine)
+		}
+		b, err := json.Marshal(agg)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(b)
+	}
+	event, lockstep := run("event"), run("lockstep")
+	if event != lockstep {
+		t.Errorf("lockstep aggregate diverged from event-driven\n   event: %s\nlockstep: %s",
+			event, lockstep)
+	}
+}
+
 // TestFleetSeedChangesAggregate guards against the failure mode where device
 // seeds collapse to a constant (every device identical) or the fleet seed is
 // ignored.

@@ -131,6 +131,14 @@ const (
 	// discrete event; typically 50–200× faster with statistically matching
 	// results. See engine.EventDriven.
 	EventDriven = engine.EventDriven
+	// Lockstep commits the exact segment sequence of EventDriven — event
+	// streams and results are bit-identical, pinned by golden parity — but
+	// replays fixed-point crawl regimes as constant-addend updates, an
+	// order of magnitude faster on starved sweep workloads. Fastest choice
+	// for fleets and corpora; requires no observers on the hot path for the
+	// replay to engage (checks, timelines and metrics sinks fall back to
+	// the normal per-segment path). See engine.Lockstep and DESIGN.md §13.
+	Lockstep = engine.Lockstep
 )
 
 // CheckpointPolicy selects the intermittent-computing progress model; see

@@ -25,11 +25,14 @@ func sweepSize() int {
 	return 200
 }
 
-// sweepPair is one config run through both engines.
+// sweepPair is one config run through all three engines: the fixed and
+// event arms through Run (checks on), the lockstep arm through RunUnchecked
+// so its crawl replay is live — the whole point of the third arm is to
+// certify the fast path, not the fallback.
 type sweepPair struct {
-	p            Params
-	fixed, event metrics.Results
-	err          error
+	p                  Params
+	fixed, event, lock metrics.Results
+	err                error
 }
 
 var (
@@ -56,7 +59,10 @@ func runSweep(t *testing.T) []sweepPair {
 					if pr.fixed, pr.err = pr.p.Run(sim.FixedIncrement); pr.err != nil {
 						continue
 					}
-					pr.event, pr.err = pr.p.Run(sim.EventDriven)
+					if pr.event, pr.err = pr.p.Run(sim.EventDriven); pr.err != nil {
+						continue
+					}
+					pr.lock, pr.err = pr.p.RunUnchecked(sim.Lockstep)
 				}
 			}()
 		}
@@ -74,22 +80,16 @@ func runSweep(t *testing.T) []sweepPair {
 	return sweepData
 }
 
-// shrink minimizes a config that violates the hard ceiling: while any
-// simpler neighbour still violates it, move there. Bounded so a pathological
-// lattice cannot loop.
-func shrink(p Params, tol metrics.Tolerance) Params {
+// shrink minimizes a config that violates an engine-pair comparison: while
+// any simpler neighbour still diverges, move there. Bounded so a
+// pathological lattice cannot loop. The diverges predicate names the pair,
+// so the minimal reproducer in a failure message states which two engines
+// disagree, not just that some pair did.
+func shrink(p Params, diverges func(Params) bool) Params {
 	for round := 0; round < 32; round++ {
 		moved := false
 		for _, q := range p.Shrink() {
-			fx, err := q.Run(sim.FixedIncrement)
-			if err != nil {
-				continue
-			}
-			ev, err := q.Run(sim.EventDriven)
-			if err != nil {
-				continue
-			}
-			if len(metrics.Diff(fx, ev, tol)) > 0 {
+			if diverges(q) {
 				p = q
 				moved = true
 				break
@@ -100,6 +100,35 @@ func shrink(p Params, tol metrics.Tolerance) Params {
 		}
 	}
 	return p
+}
+
+// divergesFixedEvent reports whether fixed↔event disagree beyond tol on q.
+func divergesFixedEvent(tol metrics.Tolerance) func(Params) bool {
+	return func(q Params) bool {
+		fx, err := q.Run(sim.FixedIncrement)
+		if err != nil {
+			return false
+		}
+		ev, err := q.Run(sim.EventDriven)
+		if err != nil {
+			return false
+		}
+		return len(metrics.Diff(fx, ev, tol)) > 0
+	}
+}
+
+// divergesEventLockstep reports whether event↔lockstep differ in ANY field
+// on q — the lockstep contract is bit-identity, so the tolerance is empty.
+func divergesEventLockstep(q Params) bool {
+	ev, err := q.Run(sim.EventDriven)
+	if err != nil {
+		return false
+	}
+	lk, err := q.RunUnchecked(sim.Lockstep)
+	if err != nil {
+		return false
+	}
+	return len(metrics.Diff(ev, lk, metrics.Tolerance{})) > 0
 }
 
 // curated is the hand-picked differential table: every controller family,
@@ -132,8 +161,8 @@ var curated = []Params{
 	{Seed: 17, System: 0, JitterPct: 30, PowerMW: 30, NumEvents: 8, EventDurS: 15, CapMF: 33, BufCap: 10, CapturePerMS: 1000},
 }
 
-// TestDifferentialCurated holds both engines to TypicalTolerance on the
-// hand-picked table.
+// TestDifferentialCurated holds fixed↔event to TypicalTolerance on the
+// hand-picked table, and event↔lockstep to exact equality.
 func TestDifferentialCurated(t *testing.T) {
 	for i, p := range curated {
 		p := p.Normalize()
@@ -147,8 +176,18 @@ func TestDifferentialCurated(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v: event engine: %v", p, err)
 			}
+			lock, err := p.RunUnchecked(sim.Lockstep)
+			if err != nil {
+				t.Fatalf("%v: lockstep engine: %v", p, err)
+			}
 			if diffs := metrics.Diff(fixed, event, TypicalTolerance()); len(diffs) > 0 {
-				t.Errorf("engines disagree on %v:\n  fixed: %v\n  event: %v", p, fixed, event)
+				t.Errorf("pair fixed↔event disagrees on %v:\n  fixed: %v\n  event: %v", p, fixed, event)
+				for _, d := range diffs {
+					t.Errorf("  %s", d)
+				}
+			}
+			if diffs := metrics.Diff(event, lock, metrics.Tolerance{}); len(diffs) > 0 {
+				t.Errorf("pair event↔lockstep not bit-identical on %v:", p)
 				for _, d := range diffs {
 					t.Errorf("  %s", d)
 				}
@@ -160,10 +199,10 @@ func TestDifferentialCurated(t *testing.T) {
 	}
 }
 
-// TestDifferentialRandom sweeps the generated configs through both engines
-// and enforces the hard per-config ceiling. On a violation the config is
-// shrunk to its smallest still-violating neighbour, so the failure message
-// is a minimal reproducer.
+// TestDifferentialRandom sweeps the generated configs through both
+// tolerance-compared engines and enforces the hard per-config ceiling. On a
+// violation the config is shrunk to its smallest still-violating neighbour,
+// so the failure message is a minimal reproducer naming the diverging pair.
 func TestDifferentialRandom(t *testing.T) {
 	hard := Tolerance()
 	for _, pr := range runSweep(t) {
@@ -171,7 +210,7 @@ func TestDifferentialRandom(t *testing.T) {
 		if len(diffs) == 0 {
 			continue
 		}
-		small := shrink(pr.p, hard)
+		small := shrink(pr.p, divergesFixedEvent(hard))
 		fx, err1 := small.Run(sim.FixedIncrement)
 		ev, err2 := small.Run(sim.EventDriven)
 		var sdiffs []string
@@ -181,7 +220,36 @@ func TestDifferentialRandom(t *testing.T) {
 		if len(sdiffs) == 0 { // shrank past the violation; report the original
 			small, sdiffs = pr.p, diffs
 		}
-		t.Errorf("hard ceiling exceeded; minimal reproducer: %v", small)
+		t.Errorf("pair fixed↔event: hard ceiling exceeded; minimal reproducer: %v", small)
+		for _, d := range sdiffs {
+			t.Errorf("  %s", d)
+		}
+	}
+}
+
+// TestDifferentialLockstepExact is the third edge of the oracle triangle:
+// event↔lockstep must agree on EVERY field of every sweep config — no
+// tolerance at all. Combined with TestDifferentialRandom (fixed↔event
+// within Tolerance) this closes fixed↔lockstep transitively, so the three
+// engines form a certified triangle over the full corpus. A violation is
+// shrunk and reported naming the pair.
+func TestDifferentialLockstepExact(t *testing.T) {
+	for _, pr := range runSweep(t) {
+		diffs := metrics.Diff(pr.event, pr.lock, metrics.Tolerance{})
+		if len(diffs) == 0 {
+			continue
+		}
+		small := shrink(pr.p, divergesEventLockstep)
+		ev, err1 := small.Run(sim.EventDriven)
+		lk, err2 := small.RunUnchecked(sim.Lockstep)
+		var sdiffs []string
+		if err1 == nil && err2 == nil {
+			sdiffs = metrics.Diff(ev, lk, metrics.Tolerance{})
+		}
+		if len(sdiffs) == 0 { // shrank past the violation; report the original
+			small, sdiffs = pr.p, diffs
+		}
+		t.Errorf("pair event↔lockstep: bit-identity violated; minimal reproducer: %v", small)
 		for _, d := range sdiffs {
 			t.Errorf("  %s", d)
 		}
@@ -264,7 +332,7 @@ func TestGeneratorValidity(t *testing.T) {
 		if p != p.Normalize() {
 			t.Fatalf("Random(%d) = %v outside its own lattice", i, p)
 		}
-		for _, engine := range []sim.EngineKind{sim.FixedIncrement, sim.EventDriven} {
+		for _, engine := range []sim.EngineKind{sim.FixedIncrement, sim.EventDriven, sim.Lockstep} {
 			cfg, err := p.Config(engine)
 			if err != nil {
 				t.Fatalf("%v: %v", p, err)

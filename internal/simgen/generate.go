@@ -1,9 +1,10 @@
 // Package simgen samples the simulator's configuration space: it turns a
 // seed into a complete, valid sim.Config spanning every device profile,
 // controller family, power-trace shape, checkpoint policy and buffer size
-// the repository ships. The differential oracle runs each sampled config
-// through both engines and requires all results to agree within
-// Tolerance(); the fuzz target FuzzParams drives the same sampler from
+// the repository ships. The three-way differential oracle runs each sampled
+// config through all three engines: fixed↔event must agree within
+// Tolerance(), and event↔lockstep must be bit-identical (empty tolerance,
+// see sim.Lockstep); the fuzz target FuzzParams drives the same sampler from
 // arbitrary bytes; and Shrink supports minimizing a failing configuration
 // to its smallest still-failing neighbour.
 //
@@ -203,6 +204,25 @@ func (p Params) Run(engine sim.EngineKind) (metrics.Results, error) {
 	if err != nil {
 		return metrics.Results{}, err
 	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return metrics.Results{}, fmt.Errorf("simgen: %v: %w", p, err)
+	}
+	return s.Run()
+}
+
+// RunUnchecked is Run with the invariant checker disabled (sim.ChecksOff) —
+// the configuration under which the lockstep engine's crawl replay engages
+// (any registered observer forces the per-segment path). The three-way
+// differential oracle uses it for the lockstep arm so the comparison
+// exercises the fast path it certifies; the accounting identities are still
+// verified by the engine's own end-of-run Results.Check.
+func (p Params) RunUnchecked(engine sim.EngineKind) (metrics.Results, error) {
+	cfg, err := p.Config(engine)
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	cfg.Checks = sim.ChecksOff
 	s, err := sim.New(cfg)
 	if err != nil {
 		return metrics.Results{}, fmt.Errorf("simgen: %v: %w", p, err)
