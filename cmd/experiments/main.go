@@ -10,6 +10,7 @@
 // Usage:
 //
 //	experiments [-fig all|2b|3|8|9|10|11|11c|12|13|14|circuit|table1|...]
+//	            [-league] [-policy qz,na,mdp,...]
 //	            [-events N] [-seed N] [-mcu apollo4|msp430] [-csv]
 //	            [-parallel N] [-timeout D] [-progress]
 //	            [-engine fixed|event] [-fast]
@@ -72,6 +73,8 @@ var figOrder = []string{"table1", "2b", "3", "8", "9", "10", "11", "11c", "12", 
 func main() {
 	var (
 		fig      = flag.String("fig", "all", "comma-separated figure ids to regenerate ("+strings.Join(figOrder, ",")+",all)")
+		league   = flag.Bool("league", false, "render the policy league (all policies × all environments) instead of figures")
+		policyF  = flag.String("policy", "", "comma-separated policies for -league (default: the full league field)")
 		events   = flag.Int("events", 0, "events per run (0 = harness default 300; paper uses 1000)")
 		seed     = flag.Int64("seed", 42, "trace and classifier seed")
 		mcu      = flag.String("mcu", "apollo4", "device profile: apollo4 or msp430")
@@ -118,13 +121,28 @@ func main() {
 		return
 	}
 
-	// Validate and de-duplicate the figure list before any simulation
-	// starts: a typo should fail in milliseconds, not partway through a
-	// long sweep.
-	ids, err := parseFigs(*fig)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(2)
+	// Validate and de-duplicate the figure list (or, in league mode, the
+	// policy list) before any simulation starts: a typo should fail in
+	// milliseconds, not partway through a long sweep.
+	var ids []string
+	var policies []string
+	var err error
+	if *league {
+		policies, err = parsePolicies(*policyF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		if *policyF != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -policy requires -league")
+			os.Exit(2)
+		}
+		ids, err = parseFigs(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	kind, err := parseEngine(*engine, *fast)
 	if err != nil {
@@ -199,8 +217,54 @@ func main() {
 	}
 	sw := experiments.NewSweepConfig(setup, cfg)
 
+	// Finalize the obs sinks once the sweep is complete, before rendering
+	// (which may os.Exit on a figure error — the trace and metrics should
+	// survive a partial rendering failure).
+	finalizeObs := func() {
+		if span != nil {
+			if err := span.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if cli.Metrics != "" {
+			reg := obs.NewRegistry()
+			ledgerMetrics(reg, sw.Ledger())
+			if err := obs.WriteMetricsFile(cli.Metrics, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *league {
+		table, lerr := sw.League(ctx, policies)
+		finalizeObs()
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: league: %v\n", lerr)
+			os.Exit(1)
+		}
+		var rerr error
+		switch {
+		case *csv:
+			rerr = table.RenderCSV(os.Stdout)
+		case *md:
+			rerr = table.RenderMarkdown(os.Stdout)
+		default:
+			rerr = table.Render(os.Stdout)
+		}
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: league: %v\n", rerr)
+			os.Exit(1)
+		}
+		if !*csv && !*md {
+			fmt.Printf("[sweep: %v, %d workers]\n", sw.Ledger(), sw.Workers())
+		}
+		return
+	}
 
 	// All figures run concurrently against the shared sweep; rendering
 	// happens afterwards in the requested order, so output is deterministic
@@ -223,23 +287,7 @@ func main() {
 	}
 	wg.Wait()
 
-	// The sweep is complete: finalize the obs sinks before rendering (which
-	// may os.Exit on a figure error — the trace and metrics should survive a
-	// partial rendering failure).
-	if span != nil {
-		if err := span.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: -trace: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if cli.Metrics != "" {
-		reg := obs.NewRegistry()
-		ledgerMetrics(reg, sw.Ledger())
-		if err := obs.WriteMetricsFile(cli.Metrics, reg); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: -metrics: %v\n", err)
-			os.Exit(1)
-		}
-	}
+	finalizeObs()
 
 	for i, id := range ids {
 		out := outs[i]
@@ -335,6 +383,34 @@ func parseFigs(arg string) ([]string, error) {
 	}
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("no figure ids given; valid ids: %s, all", strings.Join(figOrder, ", "))
+	}
+	return ids, nil
+}
+
+// parsePolicies validates and de-duplicates the -league policy list against
+// the registry, up front like -fig. Empty means the default league field
+// (experiments.LeaguePolicies).
+func parsePolicies(arg string) ([]string, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, nil
+	}
+	var ids, unknown []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(arg, ",") {
+		id := strings.TrimSpace(raw)
+		switch {
+		case id == "":
+			continue
+		case !experiments.ValidSystem(id):
+			unknown = append(unknown, fmt.Sprintf("%q", id))
+		case !seen[id]:
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown policy id(s) %s; valid ids: %s, fixed-NN",
+			strings.Join(unknown, ", "), strings.Join(experiments.PolicyNames(), ", "))
 	}
 	return ids, nil
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fleetbench [-sizes 10000,100000,1000000] [-system qz] [-env less-crowded]
+//	fleetbench [-sizes 10000,100000,1000000] [-system qz | -policy NAME] [-env less-crowded]
 //	           [-stepper lockstep|event] [-jitter 0.1] [-seed 42]
 //	           [-out BENCH_fleet.json] [-progress]
 package main
@@ -48,6 +48,21 @@ type benchFile struct {
 	Notes       string         `json:"notes,omitempty"`
 }
 
+// resolveSystem merges the -system and -policy spellings of the controller
+// dimension (aliases of one axis — the policy registry name).
+func resolveSystem(system, policy string) (string, error) {
+	if system != "" && policy != "" && system != policy {
+		return "", fmt.Errorf("-system %q conflicts with -policy %q (they are aliases; set one)", system, policy)
+	}
+	if policy != "" {
+		return policy, nil
+	}
+	if system != "" {
+		return system, nil
+	}
+	return "qz", nil
+}
+
 func parseSizes(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -63,7 +78,8 @@ func parseSizes(s string) ([]int, error) {
 func main() {
 	var (
 		sizes    = flag.String("sizes", "10000,100000,1000000", "comma-separated fleet sizes to measure")
-		system   = flag.String("system", "qz", "controller under test")
+		system   = flag.String("system", "", `controller under test (default "qz")`)
+		policyID = flag.String("policy", "", "alias for -system: the policy registry name")
 		envName  = flag.String("env", "less-crowded", "sensing environment")
 		jitter   = flag.Float64("jitter", 0.1, "per-device parameter jitter fraction")
 		seed     = flag.Int64("seed", 42, "fleet seed")
@@ -75,6 +91,11 @@ func main() {
 	flag.Parse()
 
 	ns, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	systemID, err := resolveSystem(*system, *policyID)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -100,7 +121,7 @@ func main() {
 	for i, n := range ns {
 		spec := experiments.FleetSpec{
 			Devices: n,
-			System:  *system,
+			System:  systemID,
 			Env:     *envName,
 			Seed:    *seed,
 			Engine:  *stepper,

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	quetzalsim [-system qz|na|ad|cn|pzo|pzi|fixed-NN|qz-fcfs|...]
-//	           [-env more-crowded|crowded|less-crowded|msp430-crowded]
+//	quetzalsim [-system qz|na|ad|cn|pzo|pzi|fixed-NN|qz-fcfs|mdp|ensure|interweave|...]
+//	           [-policy NAME]   # alias for -system (the registry policy name)
+//	           [-env more-crowded|crowded|less-crowded|msp430-crowded|surge|marathon]
 //	           [-mcu apollo4|msp430] [-events N] [-seed N] [-cells N]
 //	           [-capture SECONDS] [-v] [-json]
 //	           [-stepper fixed|event|lockstep] [-fast]
@@ -15,6 +16,7 @@
 // Examples:
 //
 //	quetzalsim -system qz -env crowded -events 300
+//	quetzalsim -policy mdp -env surge -events 300
 //	quetzalsim -system na -env more-crowded -mcu msp430
 //	quetzalsim -system fixed-50 -env less-crowded -v
 //	quetzalsim -system qz -env crowded -stepper lockstep   # fastest engine, bit-identical to event
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"quetzal/internal/device"
 	"quetzal/internal/experiments"
@@ -39,18 +42,36 @@ import (
 	"quetzal/internal/sim"
 )
 
-// resolveEnv maps the -env flag to an environment.
+// resolveEnv maps the -env flag to an environment through the same gate the
+// HTTP service uses, so the CLI and the wire accept the identical set (the
+// full six-environment league gauntlet).
 func resolveEnv(name string) (experiments.Environment, error) {
-	env, ok := map[string]experiments.Environment{
-		"more-crowded":   experiments.MoreCrowded,
-		"crowded":        experiments.Crowded,
-		"less-crowded":   experiments.LessCrowded,
-		"msp430-crowded": experiments.MSP430Env,
-	}[name]
+	env, ok := experiments.EnvByName(name)
 	if !ok {
-		return experiments.Environment{}, fmt.Errorf("unknown environment %q", name)
+		names := make([]string, len(experiments.LeagueEnvironments))
+		for i, e := range experiments.LeagueEnvironments {
+			names[i] = e.Name
+		}
+		return experiments.Environment{}, fmt.Errorf("unknown environment %q; valid: %s",
+			name, strings.Join(names, ", "))
 	}
 	return env, nil
+}
+
+// resolveSystem merges the -system and -policy spellings of the controller
+// dimension: they are one axis (the policy registry name), so naming both
+// with different values is a conflict, not a silent override.
+func resolveSystem(system, policy string) (string, error) {
+	if system != "" && policy != "" && system != policy {
+		return "", fmt.Errorf("-system %q conflicts with -policy %q (they are aliases; set one)", system, policy)
+	}
+	if policy != "" {
+		return policy, nil
+	}
+	if system != "" {
+		return system, nil
+	}
+	return "qz", nil
 }
 
 // resolveMCU maps the -mcu flag to a device profile.
@@ -81,7 +102,8 @@ func validateObsFlags(cli obs.CLI, timeline string) error {
 
 func main() {
 	var (
-		system   = flag.String("system", "qz", "controller under test (see DESIGN.md for ids)")
+		system   = flag.String("system", "", `controller under test (default "qz"; see DESIGN.md for ids)`)
+		policyID = flag.String("policy", "", "alias for -system: the policy registry name")
 		envName  = flag.String("env", "crowded", "sensing environment")
 		mcu      = flag.String("mcu", "apollo4", "device profile: apollo4, msp430 or stm32g0")
 		events   = flag.Int("events", 300, "number of sensing events")
@@ -111,6 +133,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	systemID, err := resolveSystem(*system, *policyID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *fleetN > 0 {
 		ff := fleetFlags{devices: *fleetN, shard: *shard, jitter: *jitter,
@@ -125,7 +152,7 @@ func main() {
 		if isFlagSet("events") {
 			fleetEvents = *events
 		}
-		if err := runFleet(ff, *system, *envName, fleetEvents, *seed, stepperName, *jsonOut); err != nil {
+		if err := runFleet(ff, systemID, *envName, fleetEvents, *seed, stepperName, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -197,7 +224,7 @@ func main() {
 
 	var res metrics.Results
 	if sinks.timeline != nil || sinks.trace != nil || sinks.reg != nil {
-		res, err = setup.RunWith(context.Background(), *system, env, func(c *sim.Config) {
+		res, err = setup.RunWith(context.Background(), systemID, env, func(c *sim.Config) {
 			if sinks.timeline != nil {
 				c.Timeline = sinks.timeline
 			}
@@ -207,7 +234,7 @@ func main() {
 			c.Metrics = sinks.reg
 		})
 	} else {
-		res, err = setup.Run(*system, env)
+		res, err = setup.Run(systemID, env)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

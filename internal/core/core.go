@@ -34,6 +34,11 @@ type Env struct {
 	InputPower float64 // instantaneous harvestable power, watts
 	BufferLen  int     // current input buffer occupancy
 	BufferCap  int     // input buffer capacity
+	// Energy-store readings, for policies that budget against the store
+	// (Quetzal itself deliberately ignores them — §4 assumes only the
+	// power-measurement circuit).
+	StoreEnergy   float64 // usable energy above the turn-off floor, joules
+	StoreCapacity float64 // usable span: capacity − floor, joules
 }
 
 // Decision tells the host which buffered input to process next and at what
@@ -79,6 +84,15 @@ type Controller interface {
 	// invocation performs, and whether the hardware module computes them;
 	// the host charges the corresponding time/energy overhead.
 	RatioOps() (ops int, usesModule bool)
+}
+
+// ReplaySensitive is an optional Controller marker: a controller whose
+// decisions depend on state the lockstep engine's crawl-regime replay does
+// not freeze (e.g. the energy-store level) returns true, and the engine
+// disables the replay fast path for it. Controllers that do not implement
+// the interface are treated as insensitive.
+type ReplaySensitive interface {
+	ReplaySensitive() bool
 }
 
 // EstimatorKind selects how the runtime computes S_e2e.

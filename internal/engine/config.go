@@ -7,6 +7,7 @@ import (
 	"quetzal/internal/device"
 	"quetzal/internal/energy"
 	"quetzal/internal/model"
+	"quetzal/internal/policy"
 	"quetzal/internal/trace"
 
 	"quetzal/internal/core"
@@ -17,9 +18,13 @@ import (
 // separately (Stepper, Observer) by the caller — see sim.Config for the
 // all-in-one facade.
 type Config struct {
-	Profile    device.Profile
-	App        *model.App // nil → Profile.PersonDetectionApp()
+	Profile device.Profile
+	App     *model.App // nil → Profile.PersonDetectionApp()
+	// Controller is the decision-making brain. Alternatively set Policy to a
+	// registered policy name (internal/policy) and normalize builds the
+	// controller — exactly one of the two must be provided.
 	Controller core.Controller
+	Policy     string
 
 	Power  trace.PowerTrace
 	Events *trace.EventTrace
@@ -61,8 +66,8 @@ type Config struct {
 
 // normalize validates the configuration and fills in defaults, in place.
 func (cfg *Config) normalize() error {
-	if cfg.Controller == nil {
-		return fmt.Errorf("engine: Controller is required")
+	if cfg.Controller != nil && cfg.Policy != "" {
+		return fmt.Errorf("engine: Controller and Policy are mutually exclusive (got both)")
 	}
 	if cfg.Power == nil {
 		return fmt.Errorf("engine: Power trace is required")
@@ -87,6 +92,24 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.CapturePeriod < 0 {
 		return fmt.Errorf("engine: capture period must be positive, got %g", cfg.CapturePeriod)
+	}
+	if cfg.Controller == nil && cfg.Policy != "" {
+		ctl, bufCap, err := policy.Build(cfg.Policy, policy.Context{
+			App:           cfg.App,
+			Power:         cfg.Power,
+			Events:        cfg.Events,
+			CapturePeriod: cfg.CapturePeriod,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Controller = ctl
+		if cfg.BufferCapacity == 0 && bufCap != 0 {
+			cfg.BufferCapacity = bufCap
+		}
+	}
+	if cfg.Controller == nil {
+		return fmt.Errorf("engine: Controller or Policy is required")
 	}
 	if cfg.StepDt == 0 {
 		cfg.StepDt = 0.001

@@ -102,10 +102,12 @@ func (m *Machine) replayCrawl(limit float64) int {
 	// forces segment()==minSegment; a pending on/off transition would logf
 	// and run checkpoint policy; observers/hooks must see every step;
 	// leakage adds a per-step drain Step applies and this loop does not;
-	// CapturePexe<=0 flips DrawPriority into its free-progress branch.
+	// CapturePexe<=0 flips DrawPriority into its free-progress branch;
+	// a replay-sensitive controller reads state the replay does not freeze.
 	if m.captures.Len() == 0 ||
 		m.store.UsableEnergy() > 0 ||
 		m.wasOn != m.store.On() ||
+		m.replaySensitive ||
 		m.StepHook != nil ||
 		len(m.observers) != 0 ||
 		m.cfg.Store.LeakagePower != 0 ||

@@ -56,6 +56,10 @@ type Machine struct {
 	// (lockstep.go) instead of the full segment/step path; tests assert the
 	// fast path actually engages on crawl-heavy workloads.
 	replaySteps int
+	// replaySensitive disables the crawl replay: the controller declared
+	// (via core.ReplaySensitive) that its decisions read state the replay's
+	// crawl-regime classifier does not freeze.
+	replaySensitive bool
 
 	// StepHook, when set (tests only), runs before every step/segment;
 	// mutation tests use it to inject accounting bugs mid-run and prove
@@ -152,6 +156,9 @@ func initMachine(m *Machine, cfg Config) error {
 	}
 	m.res.System = cfg.Controller.Name()
 	m.res.Environment = cfg.Environment
+	if rs, ok := cfg.Controller.(core.ReplaySensitive); ok {
+		m.replaySensitive = rs.ReplaySensitive()
+	}
 
 	ops, usesModule := cfg.Controller.RatioOps()
 	if ops > 0 {
@@ -477,10 +484,12 @@ func (m *Machine) invokeController(dt float64) {
 		}
 	}
 	env := core.Env{
-		Now:        m.now,
-		InputPower: m.cfg.Power.Power(m.now),
-		BufferLen:  m.buf.Len(),
-		BufferCap:  m.buf.Capacity(),
+		Now:           m.now,
+		InputPower:    m.cfg.Power.Power(m.now),
+		BufferLen:     m.buf.Len(),
+		BufferCap:     m.buf.Capacity(),
+		StoreEnergy:   m.store.UsableEnergy(),
+		StoreCapacity: m.store.Capacity() - m.store.Floor(),
 	}
 	dec, ok := m.ctl.NextJob(env, m.buf)
 	if !ok {
@@ -818,5 +827,6 @@ func (m *Machine) finish() {
 	m.res.Brownouts = st.Brownouts
 	m.res.HarvestedJoules = st.HarvestedJ
 	m.res.ConsumedJoules = st.ConsumedJ
+	m.res.WastedJoules = st.WastedJ
 	m.res.SimSeconds = m.cfg.Duration
 }

@@ -9,12 +9,11 @@ import (
 	"context"
 	"fmt"
 
-	"quetzal/internal/baseline"
 	"quetzal/internal/core"
 	"quetzal/internal/device"
 	"quetzal/internal/metrics"
 	"quetzal/internal/model"
-	"quetzal/internal/sched"
+	"quetzal/internal/policy"
 	"quetzal/internal/sim"
 	"quetzal/internal/trace"
 )
@@ -37,15 +36,25 @@ var (
 	// slower platform's processing rate.
 	MSP430Env = Environment{Name: "msp430-crowded", MaxDuration: 10}
 
+	// Surge and Marathon extend the league beyond Table 1: Surge caps
+	// events at 5 s (dense bursts of short events — maximum scheduling
+	// pressure), Marathon at 240 s (long occupations — sustained drain).
+	Surge    = Environment{Name: "surge", MaxDuration: 5}
+	Marathon = Environment{Name: "marathon", MaxDuration: 240}
+
 	// Environments orders the three from most to least crowded, the order
 	// Figures 9–12 sweep them in.
 	Environments = []Environment{MoreCrowded, Crowded, LessCrowded}
+
+	// LeagueEnvironments is the six-environment gauntlet the policy league
+	// table runs: the paper's three, the MSP430 one, and the two extremes.
+	LeagueEnvironments = []Environment{MoreCrowded, Crowded, LessCrowded, MSP430Env, Surge, Marathon}
 )
 
 // DatasheetMaxWatts is the 6-cell harvester's datasheet maximum output —
 // the oracle-free threshold source the PZO baseline uses (§6.1). Real
 // traces peak well below it.
-const DatasheetMaxWatts = 0.5
+const DatasheetMaxWatts = policy.DefaultDatasheetMaxWatts
 
 // ReferenceCells is the harvester cell count of the primary experiments.
 const ReferenceCells = 6
@@ -104,28 +113,32 @@ func (s Setup) Traces(env Environment) (trace.PowerTrace, *trace.EventTrace) {
 	return trace.Scaled{Base: solar, Factor: float64(cells) / ReferenceCells}, events
 }
 
-// System identifiers accepted by Run.
+// System identifiers accepted by Run — aliases of the internal/policy
+// registry names, kept so figure code reads as it always did.
 const (
-	SysQuetzal      = "qz"
-	SysQuetzalDiv   = "qz-div"     // exact-division estimator (no hardware module)
-	SysQuetzalAvg   = "qz-avg"     // Avg-S_e2e estimator (§7.3)
-	SysQuetzalFCFS  = "qz-fcfs"    // IBO engine with FCFS scheduling (Fig 12)
-	SysQuetzalLCFS  = "qz-lcfs"    // IBO engine with LCFS scheduling (Fig 12)
-	SysQuetzalCapt  = "qz-capture" // IBO engine with capture-order scheduling (Fig 12)
-	SysQuetzalNoPID = "qz-nopid"   // ablation: PID disabled
-	SysQuetzalNoIBO = "qz-noibo"   // ablation: pure Energy-aware SJF, no degradation
-	SysNoAdapt      = "na"
-	SysAlwaysDeg    = "ad"
-	SysCatNap       = "cn"
-	SysPZO          = "pzo"
-	SysPZI          = "pzi"
-	SysIdeal        = "ideal" // NoAdapt with an effectively infinite buffer
+	SysQuetzal      = policy.Quetzal
+	SysQuetzalDiv   = policy.QuetzalDiv
+	SysQuetzalAvg   = policy.QuetzalAvg
+	SysQuetzalFCFS  = policy.QuetzalFCFS
+	SysQuetzalLCFS  = policy.QuetzalLCFS
+	SysQuetzalCapt  = policy.QuetzalCapture
+	SysQuetzalNoPID = policy.QuetzalNoPID
+	SysQuetzalNoIBO = policy.QuetzalNoIBO
+	SysNoAdapt      = policy.NoAdapt
+	SysAlwaysDeg    = policy.AlwaysDegrade
+	SysCatNap       = policy.CatNap
+	SysPZO          = policy.PZO
+	SysPZI          = policy.PZI
+	SysIdeal        = policy.Ideal
+	SysMDP          = policy.MDPName
+	SysEnSuRe       = policy.EnSuReName
+	SysInterweave   = policy.InterweaveName
 )
 
 // FixedThresholdID names the fixed-buffer-threshold system at the given
 // occupancy fraction (e.g. 0.25 → "fixed-25").
 func FixedThresholdID(frac float64) string {
-	return fmt.Sprintf("fixed-%d", int(frac*100+0.5))
+	return policy.FixedThresholdID(frac)
 }
 
 // Run executes one system in one environment and returns its results.
@@ -227,69 +240,22 @@ func (s Setup) ideal(env Environment) metrics.Results {
 	}
 }
 
-// Controller builds the controller for a system id. The returned buffer
-// capacity is 0 (profile default) except for the Ideal system. Exported so
-// the fleet layer can assemble per-device configurations through the same
-// system registry the figures use.
+// Controller builds the controller for a system id through the policy
+// registry (internal/policy) — the single source of policy names. The
+// returned buffer capacity is 0 (profile default) except for systems that
+// demand a specific one (Ideal). Exported so the fleet layer can assemble
+// per-device configurations through the same registry the figures use.
 func (s Setup) Controller(systemID string, app *model.App, power trace.PowerTrace, events *trace.EventTrace) (core.Controller, int, error) {
-	quetzal := func(mutate func(*core.Config)) (core.Controller, int, error) {
-		cfg := core.Config{
-			App:           app,
-			CapturePeriod: s.capturePeriod(),
-			TaskWindow:    s.TaskWindow,
-			ArrivalWindow: s.ArrivalWindow,
-		}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		r, err := core.New(cfg)
-		return r, 0, err
+	ctl, bufCap, err := policy.Build(systemID, policy.Context{
+		App:           app,
+		Power:         power,
+		Events:        events,
+		CapturePeriod: s.capturePeriod(),
+		TaskWindow:    s.TaskWindow,
+		ArrivalWindow: s.ArrivalWindow,
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: %w", err)
 	}
-	switch systemID {
-	case SysQuetzal:
-		return quetzal(nil)
-	case SysQuetzalDiv:
-		return quetzal(func(c *core.Config) { c.Kind = core.ExactDivision })
-	case SysQuetzalAvg:
-		return quetzal(func(c *core.Config) { c.Kind = core.AveragedSe2e })
-	case SysQuetzalFCFS:
-		return quetzal(func(c *core.Config) { c.Policy = sched.FCFS{} })
-	case SysQuetzalLCFS:
-		return quetzal(func(c *core.Config) { c.Policy = sched.LCFS{} })
-	case SysQuetzalCapt:
-		return quetzal(func(c *core.Config) { c.Policy = sched.CaptureOrder{} })
-	case SysQuetzalNoPID:
-		return quetzal(func(c *core.Config) { c.DisablePID = true })
-	case SysQuetzalNoIBO:
-		return quetzal(func(c *core.Config) { c.DisableIBOEngine = true })
-	case SysNoAdapt:
-		c, err := baseline.NoAdapt(app)
-		return c, 0, err
-	case SysAlwaysDeg:
-		c, err := baseline.AlwaysDegrade(app)
-		return c, 0, err
-	case SysCatNap:
-		c, err := baseline.CatNap(app)
-		return c, 0, err
-	case SysPZO:
-		c, err := baseline.PZO(app, DatasheetMaxWatts)
-		return c, 0, err
-	case SysPZI:
-		max := trace.MaxPower(power, events.Duration(), 1)
-		c, err := baseline.PZI(app, max)
-		return c, 0, err
-	case SysIdeal:
-		// Normally intercepted by Run (computed analytically); keep a
-		// simulated fallback with an effectively infinite buffer for
-		// callers that want the dynamics.
-		c, err := baseline.NoAdapt(app)
-		return c, 1 << 20, err
-	}
-	// Fixed thresholds: "fixed-NN".
-	var pct int
-	if n, _ := fmt.Sscanf(systemID, "fixed-%d", &pct); n == 1 && pct > 0 && pct <= 100 {
-		c, err := baseline.Threshold(app, float64(pct)/100)
-		return c, 0, err
-	}
-	return nil, 0, fmt.Errorf("experiments: unknown system %q", systemID)
+	return ctl, bufCap, nil
 }

@@ -71,7 +71,10 @@ func (p FleetPlan) String() string {
 type FleetSpec struct {
 	Devices int    `json:"devices"`
 	System  string `json:"system"`
-	Env     string `json:"env"`
+	// Policy is an alias for System, mirroring KeySpec: set either, or both
+	// to the same name.
+	Policy string `json:"policy,omitempty"`
+	Env    string `json:"env"`
 	// MaxDuration defines a custom environment exactly as in KeySpec.
 	MaxDuration float64 `json:"max_duration,omitempty"`
 
@@ -100,13 +103,21 @@ func (sp FleetSpec) Plan() (FleetPlan, error) {
 	if sp.Devices > MaxFleetDevices {
 		return FleetPlan{}, fmt.Errorf("devices must be at most %d, got %d", MaxFleetDevices, sp.Devices)
 	}
-	if sp.System == "" {
+	system := sp.System
+	switch {
+	case sp.Policy != "" && sp.System != "" && sp.Policy != sp.System:
+		return FleetPlan{}, fmt.Errorf("ambiguous request: system %q vs policy %q (set one, or both to the same name)",
+			sp.System, sp.Policy)
+	case sp.Policy != "":
+		system = sp.Policy
+	}
+	if system == "" {
 		return FleetPlan{}, fmt.Errorf("missing system (e.g. %q)", SysQuetzal)
 	}
-	if !ValidSystem(sp.System) {
-		return FleetPlan{}, fmt.Errorf("unknown system %q", sp.System)
+	if !ValidSystem(system) {
+		return FleetPlan{}, fmt.Errorf("unknown system %q", system)
 	}
-	if sp.System == SysIdeal {
+	if system == SysIdeal {
 		// Ideal is computed analytically per run, not simulated; a fleet of
 		// closed-form results would be meaningless as a population sweep.
 		return FleetPlan{}, fmt.Errorf("system %q has no fleet form", SysIdeal)
@@ -188,7 +199,7 @@ func (sp FleetSpec) Plan() (FleetPlan, error) {
 
 	return FleetPlan{
 		Devices:     sp.Devices,
-		System:      sp.System,
+		System:      system,
 		Env:         env,
 		Profile:     profile,
 		Events:      events,

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"quetzal/internal/metrics"
+	"quetzal/internal/policy"
 	"quetzal/internal/sim"
 )
 
@@ -35,6 +36,10 @@ const (
 // optional field means "use the serving setup's default", mirroring RunKey.
 type KeySpec struct {
 	System string `json:"system"`
+	// Policy is an alias for System (the registry's vocabulary); set either,
+	// or both to the same name — two different names are rejected as
+	// ambiguous rather than silently preferring one.
+	Policy string `json:"policy,omitempty"`
 	Env    string `json:"env"`
 	// MaxDuration defines a custom environment (seconds cap on event
 	// durations) when Env is not one of the Table 1 names. For a known Env
@@ -57,33 +62,24 @@ type KeySpec struct {
 	StoreCapacitance   float64 `json:"store_capacitance,omitempty"`
 }
 
-// knownSystems lists every non-parameterized system id Run accepts.
-var knownSystems = []string{
-	SysQuetzal, SysQuetzalDiv, SysQuetzalAvg, SysQuetzalFCFS, SysQuetzalLCFS,
-	SysQuetzalCapt, SysQuetzalNoPID, SysQuetzalNoIBO, SysNoAdapt, SysAlwaysDeg,
-	SysCatNap, SysPZO, SysPZI, SysIdeal,
-}
-
-// ValidSystem reports whether id names a system Run accepts: one of the
-// Sys* constants or a fixed-threshold id "fixed-NN" (1 ≤ NN ≤ 100). The
-// fixed form must round-trip exactly, so "fixed-25x" and "fixed-007" are
-// rejected rather than leniently parsed.
+// ValidSystem reports whether id names a system Run accepts: any policy
+// registered in internal/policy — the Sys* constants or a fixed-threshold
+// id "fixed-NN" (1 ≤ NN ≤ 100). The fixed form must round-trip exactly, so
+// "fixed-25x" and "fixed-007" are rejected rather than leniently parsed.
 func ValidSystem(id string) bool {
-	for _, s := range knownSystems {
-		if id == s {
-			return true
-		}
-	}
-	var pct int
-	if n, _ := fmt.Sscanf(id, "fixed-%d", &pct); n == 1 && pct > 0 && pct <= 100 {
-		return FixedThresholdID(float64(pct)/100) == id
-	}
-	return false
+	return policy.Known(id)
 }
 
-// EnvByName resolves a Table 1 environment name.
+// PolicyNames enumerates the registered policy ids in registry declaration
+// order (the fixed-NN family is synthesized, not enumerated).
+func PolicyNames() []string {
+	return policy.Names()
+}
+
+// EnvByName resolves a named environment: the Table 1 four plus the league
+// extremes.
 func EnvByName(name string) (Environment, bool) {
-	for _, env := range []Environment{MoreCrowded, Crowded, LessCrowded, MSP430Env} {
+	for _, env := range LeagueEnvironments {
 		if env.Name == name {
 			return env, true
 		}
@@ -150,11 +146,19 @@ func inRange(name string, v, lo, hi float64) error {
 // executable (unknown systems, profiles, engines and absurd magnitudes are
 // all rejected up front).
 func (sp KeySpec) RunKey() (RunKey, error) {
-	if sp.System == "" {
+	system := sp.System
+	switch {
+	case sp.Policy != "" && sp.System != "" && sp.Policy != sp.System:
+		return RunKey{}, fmt.Errorf("ambiguous request: system %q vs policy %q (set one, or both to the same name)",
+			sp.System, sp.Policy)
+	case sp.Policy != "":
+		system = sp.Policy
+	}
+	if system == "" {
 		return RunKey{}, fmt.Errorf("missing system (e.g. %q)", SysQuetzal)
 	}
-	if !ValidSystem(sp.System) {
-		return RunKey{}, fmt.Errorf("unknown system %q", sp.System)
+	if !ValidSystem(system) {
+		return RunKey{}, fmt.Errorf("unknown system %q", system)
 	}
 	if sp.Env == "" {
 		return RunKey{}, fmt.Errorf("missing env (e.g. %q)", Crowded.Name)
@@ -214,7 +218,7 @@ func (sp KeySpec) RunKey() (RunKey, error) {
 	}
 
 	return RunKey{
-		System:             sp.System,
+		System:             system,
 		Env:                env,
 		Profile:            sp.Profile,
 		NumEvents:          sp.Events,

@@ -6,11 +6,12 @@ import (
 	"strings"
 	"testing"
 
+	"quetzal/internal/policy"
 	"quetzal/internal/sim"
 )
 
 func TestValidSystem(t *testing.T) {
-	for _, id := range knownSystems {
+	for _, id := range policy.Names() {
 		if !ValidSystem(id) {
 			t.Errorf("ValidSystem(%q) = false, want true", id)
 		}

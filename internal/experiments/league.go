@@ -1,0 +1,65 @@
+package experiments
+
+// The policy league: every registered policy across the six-environment
+// gauntlet (LeagueEnvironments), rendered as one table. The league is the
+// head-to-head view the per-figure tables cannot give — the same policies,
+// the same traces, every environment — and it doubles as the CI smoke
+// surface: the rendered bytes are deterministic at any worker count, so a
+// rerun or a -parallel change must reproduce them exactly.
+
+import (
+	"context"
+
+	"quetzal/internal/metrics"
+	"quetzal/internal/report"
+)
+
+// LeaguePolicies is the default league field: the paper's full design, its
+// main baselines, and the three post-paper competitor strategies.
+var LeaguePolicies = []string{
+	SysQuetzal, SysNoAdapt, SysAlwaysDeg, SysCatNap, SysPZO,
+	SysMDP, SysEnSuRe, SysInterweave,
+}
+
+// LeaguePlan enumerates the league's run keys: policies × environments with
+// no setup deviations, in deterministic environment-major order. Defaults
+// (nil/empty) are LeaguePolicies and LeagueEnvironments.
+func LeaguePlan(policies []string, envs []Environment) []RunKey {
+	if len(policies) == 0 {
+		policies = LeaguePolicies
+	}
+	if len(envs) == 0 {
+		envs = LeagueEnvironments
+	}
+	return baseKeys(policies, envs...)
+}
+
+// League runs the league and renders the table: one row per (environment,
+// policy), with the overflow, quality and energy columns the comparison
+// turns on. Policies default to LeaguePolicies.
+func (sw *Sweep) League(ctx context.Context, policies []string) (*report.Table, error) {
+	if len(policies) == 0 {
+		policies = LeaguePolicies
+	}
+	keys := LeaguePlan(policies, LeagueEnvironments)
+	results, err := sw.Results(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Policy league — all policies × all environments",
+		"environment", "policy", "ibo", "highq-share", "discarded", "wasted-J", "degraded", "brownouts")
+	for _, k := range keys {
+		r := results[k]
+		sum := metrics.Summarize(&r)
+		t.AddRow(k.Env.Name, k.System,
+			report.Pct(r.IBOFraction()),
+			report.Pct(r.HighQualityShare()),
+			report.Pct(r.DiscardedFraction()),
+			report.F(sum.WastedJoules),
+			report.Pct(r.DegradationRate()),
+			report.N(r.Brownouts))
+	}
+	t.AddNote("%d policies × %d environments, events=%d seed=%d",
+		len(policies), len(LeagueEnvironments), sw.Setup.NumEvents, sw.Setup.Seed)
+	return t, nil
+}

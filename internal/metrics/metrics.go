@@ -84,6 +84,7 @@ type Results struct {
 	OverheadJoules   float64
 	HarvestedJoules  float64
 	ConsumedJoules   float64
+	WastedJoules     float64 // harvest lost to regulation while the store was full
 }
 
 // IBOLossesInteresting totals interesting inputs lost at the buffer

@@ -23,10 +23,9 @@ type Summary struct {
 	HighQualityShare    float64
 	CaptureMissFraction float64
 
-	// Energy accounting. WastedJoules is harvest the device could not bank
-	// or spend (store-full spill plus converter losses already excluded):
-	// harvested minus consumed, clamped at zero for runs that ended with
-	// banked charge counted as consumed later.
+	// Energy accounting. WastedJoules is the store's regulation-loss
+	// counter: harvest the device had to burn off while the store sat at
+	// capacity. Analytic results (the ideal upper bound) leave it zero.
 	HarvestedJoules float64
 	ConsumedJoules  float64
 	WastedJoules    float64
@@ -48,10 +47,6 @@ type Summary struct {
 
 // Summarize projects full run results down to the fold interface.
 func Summarize(r *Results) Summary {
-	wasted := r.HarvestedJoules - r.ConsumedJoules
-	if wasted < 0 {
-		wasted = 0
-	}
 	return Summary{
 		SimSeconds:           r.SimSeconds,
 		IBOFraction:          r.IBOFraction(),
@@ -60,7 +55,7 @@ func Summarize(r *Results) Summary {
 		CaptureMissFraction:  r.CaptureMissFraction(),
 		HarvestedJoules:      r.HarvestedJoules,
 		ConsumedJoules:       r.ConsumedJoules,
-		WastedJoules:         wasted,
+		WastedJoules:         r.WastedJoules,
 		Captures:             r.Captures,
 		CaptureMisses:        r.CaptureMisses,
 		MissedInteresting:    r.MissedInteresting,

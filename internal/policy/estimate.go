@@ -1,0 +1,49 @@
+package policy
+
+import (
+	"quetzal/internal/circuit"
+	"quetzal/internal/model"
+)
+
+// serviceAt estimates a job's end-to-end service time in seconds with the
+// degradable task at option a and every other task at highest quality,
+// folding the energy-recharge time at input power pin into each task
+// (circuit.Se2eExact). Execution probability is taken as 1 for every task —
+// the conservative prior the Quetzal runtime also starts from.
+func serviceAt(job *model.Job, di, a int, pin float64) float64 {
+	var s float64
+	for ti, task := range job.Tasks {
+		oi := 0
+		if ti == di {
+			oi = a
+		}
+		opt := task.Options[oi]
+		s += circuit.Se2eExact(opt.Texe, opt.Pexe, pin)
+	}
+	return s
+}
+
+// energyAt is the execution energy in joules of the same assignment: the
+// store must supply it (less what is harvested while the job runs).
+func energyAt(job *model.Job, di, a int) float64 {
+	var e float64
+	for ti, task := range job.Tasks {
+		oi := 0
+		if ti == di {
+			oi = a
+		}
+		e += task.Options[oi].Eexe()
+	}
+	return e
+}
+
+// degradableOptions returns the job's degradable task index and its option
+// count (1 when the job has no degradable task, so option loops still run
+// once, at full quality).
+func degradableOptions(job *model.Job) (di, count int) {
+	di = job.DegradableTask()
+	if di < 0 {
+		return -1, 1
+	}
+	return di, len(job.Tasks[di].Options)
+}

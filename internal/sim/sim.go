@@ -36,9 +36,12 @@ import (
 
 // Config describes one simulation run.
 type Config struct {
-	Profile    device.Profile
-	App        *model.App // nil → Profile.PersonDetectionApp()
+	Profile device.Profile
+	App     *model.App // nil → Profile.PersonDetectionApp()
+	// Controller is the decision-making brain; Policy names a registered
+	// policy (internal/policy) to build instead. Exactly one must be set.
 	Controller core.Controller
+	Policy     string
 
 	Power  trace.PowerTrace
 	Events *trace.EventTrace
@@ -174,6 +177,7 @@ func New(cfg Config) (*Simulator, error) {
 		Profile:            cfg.Profile,
 		App:                cfg.App,
 		Controller:         cfg.Controller,
+		Policy:             cfg.Policy,
 		Power:              cfg.Power,
 		Events:             cfg.Events,
 		Store:              cfg.Store,

@@ -18,11 +18,10 @@ import (
 	"fmt"
 	"math/rand"
 
-	"quetzal/internal/baseline"
-	"quetzal/internal/core"
 	"quetzal/internal/device"
 	"quetzal/internal/energy"
 	"quetzal/internal/metrics"
+	"quetzal/internal/policy"
 	"quetzal/internal/sim"
 	"quetzal/internal/trace"
 )
@@ -31,7 +30,6 @@ import (
 // so any integer assignment yields a valid configuration.
 const (
 	numProfiles   = 4
-	numSystems    = 6
 	numPowerKinds = 3
 	numCheckpoint = 3
 
@@ -120,7 +118,25 @@ func (p Params) profile() device.Profile {
 }
 
 var profileNames = [...]string{"apollo4", "msp430", "stm32g0", "apollo4-multiq"}
-var systemNames = [...]string{"quetzal", "noadapt", "alwaysdegrade", "catnap", "fixed-50", "pzo"}
+
+// systemNames are the sampled controller families' display names and
+// systemIDs their policy-registry ids, index-aligned. Indices 0–5 are FROZEN:
+// the golden-trace recipes and the curated differential table encode them, so
+// new families must be appended, never inserted.
+var systemNames = [...]string{
+	"quetzal", "noadapt", "alwaysdegrade", "catnap", "fixed-50", "pzo",
+	"qz-div", "qz-avg", "qz-fcfs", "qz-lcfs", "qz-capture", "qz-nopid",
+	"qz-noibo", "pzi", "fixed-25", "mdp", "ensure", "interweave",
+}
+var systemIDs = [...]string{
+	policy.Quetzal, policy.NoAdapt, policy.AlwaysDegrade, policy.CatNap, "fixed-50", policy.PZO,
+	policy.QuetzalDiv, policy.QuetzalAvg, policy.QuetzalFCFS, policy.QuetzalLCFS,
+	policy.QuetzalCapture, policy.QuetzalNoPID, policy.QuetzalNoIBO, policy.PZI,
+	"fixed-25", policy.MDPName, policy.EnSuReName, policy.InterweaveName,
+}
+
+const numSystems = len(systemNames)
+
 var powerNames = [...]string{"constant", "square", "solar"}
 
 // String renders the parameters as a reproducible one-line recipe.
@@ -142,26 +158,9 @@ func (p Params) Config(engine sim.EngineKind) (sim.Config, error) {
 	app := prof.PersonDetectionApp()
 	period := float64(p.CapturePerMS) / 1000
 
-	var ctl core.Controller
-	var err error
-	switch p.System {
-	case 1:
-		ctl, err = baseline.NoAdapt(app)
-	case 2:
-		ctl, err = baseline.AlwaysDegrade(app)
-	case 3:
-		ctl, err = baseline.CatNap(app)
-	case 4:
-		ctl, err = baseline.Threshold(app, 0.5)
-	case 5:
-		ctl, err = baseline.PZO(app, 0.5)
-	default:
-		ctl, err = core.New(core.Config{App: app, CapturePeriod: period})
-	}
-	if err != nil {
-		return sim.Config{}, fmt.Errorf("simgen: %v: %w", p, err)
-	}
-
+	// Traces come first: threshold-from-trace policies (pzi) need them to
+	// build. Neither trace shares RNG state with the controller, so the
+	// ordering is behaviorally neutral for the frozen recipes.
 	events := trace.GenerateEvents(trace.DefaultEventConfig(p.NumEvents, float64(p.EventDurS), p.Seed))
 	watts := float64(p.PowerMW) / 1000
 	var power trace.PowerTrace
@@ -175,6 +174,16 @@ func (p Params) Config(engine sim.EngineKind) (sim.Config, error) {
 		power = trace.Scaled{Base: solar, Factor: watts / 0.05}
 	default:
 		power = trace.Constant{P: watts}
+	}
+
+	ctl, _, err := policy.Build(systemIDs[p.System], policy.Context{
+		App:           app,
+		Power:         power,
+		Events:        events,
+		CapturePeriod: period,
+	})
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("simgen: %v: %w", p, err)
 	}
 
 	store := energy.DefaultConfig()
