@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"quetzal/internal/experiments"
+	"quetzal/internal/faults"
 	"quetzal/internal/fleet"
 	"quetzal/internal/report"
 )
@@ -30,9 +31,12 @@ var fleetSystems = []string{
 
 // runFleetTable executes one fleet per system and renders the comparison.
 func runFleetTable(ctx context.Context, devices int, envName string, events int,
-	seed int64, jitter float64, workers int, progress bool) (*report.Table, error) {
-	t := report.New(
-		fmt.Sprintf("fleet: %d devices, %s, jitter %g, seed %d", devices, envName, jitter, seed),
+	seed int64, jitter float64, workers int, progress bool, faultSpec faults.Spec) (*report.Table, error) {
+	title := fmt.Sprintf("fleet: %d devices, %s, jitter %g, seed %d", devices, envName, jitter, seed)
+	if faultSpec.Enabled() {
+		title += " realism=" + faultSpec.String()
+	}
+	t := report.New(title,
 		"system", "IBO", "discarded", "highQ", "IBO p50", "IBO p90", "IBO p99",
 		"wasted J", "devices/s")
 
@@ -44,6 +48,7 @@ func runFleetTable(ctx context.Context, devices int, envName string, events int,
 			Events:  events,
 			Seed:    seed,
 			Jitter:  jitter,
+			Faults:  faultSpec,
 		}
 		plan, err := spec.Plan()
 		if err != nil {

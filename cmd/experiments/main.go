@@ -14,6 +14,7 @@
 //	            [-events N] [-seed N] [-mcu apollo4|msp430] [-csv]
 //	            [-parallel N] [-timeout D] [-progress]
 //	            [-engine fixed|event] [-fast]
+//	            [-faults SPEC] [-temp SPEC] [-meascost SPEC]
 //	            [-trace FILE.json] [-metrics FILE.txt] [-pprof HOST:PORT]
 package main
 
@@ -30,6 +31,7 @@ import (
 
 	"quetzal/internal/device"
 	"quetzal/internal/experiments"
+	"quetzal/internal/faults"
 	"quetzal/internal/obs"
 	"quetzal/internal/report"
 	"quetzal/internal/runner"
@@ -93,14 +95,26 @@ func main() {
 		fleetN   = flag.Int("fleet", 0, "render a fleet comparison table over N devices per system instead of figures (0 = figure mode)")
 		fleetEnv = flag.String("fleetenv", "less-crowded", "fleet environment")
 		jitter   = flag.Float64("jitter", 0.1, "fleet per-device parameter jitter fraction")
+
+		faultsF = flag.String("faults", "", `fault injection for every run: "task=PCT[%][,limit=K][,dropout=START+DUR[/PERIOD]][,stuck=HIGH[:LOW]]"`)
+		tempF   = flag.String("temp", "", `junction temperature °C for every run: "C[+SWING[/PERIOD]]" (25–50)`)
+		measF   = flag.String("meascost", "", `per-sample measurement cost for every run: "NJ[:US]" (energy nJ, latency µs)`)
 	)
 	flag.Parse()
+
+	// A spec given on the command line replaces every environment's realism
+	// spec for the whole sweep (including the faulty league environment).
+	faultSpec, err := faults.FromFlags(*faultsF, *tempF, *measF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *fleetN > 0 {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		// -events 0 keeps the fleet default (short per-device runs).
-		table, err := runFleetTable(ctx, *fleetN, *fleetEnv, *events, *seed, *jitter, *parallel, *progress)
+		table, err := runFleetTable(ctx, *fleetN, *fleetEnv, *events, *seed, *jitter, *parallel, *progress, faultSpec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
@@ -126,7 +140,6 @@ func main() {
 	// milliseconds, not partway through a long sweep.
 	var ids []string
 	var policies []string
-	var err error
 	if *league {
 		policies, err = parsePolicies(*policyF)
 		if err != nil {
@@ -158,6 +171,7 @@ func main() {
 	setup := experiments.DefaultSetup()
 	setup.Seed = *seed
 	setup.Engine = kind
+	setup.Faults = faultSpec
 	if *events > 0 {
 		setup.NumEvents = *events
 	}

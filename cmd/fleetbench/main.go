@@ -6,7 +6,8 @@
 // Usage:
 //
 //	fleetbench [-sizes 10000,100000,1000000] [-system qz | -policy NAME] [-env less-crowded]
-//	           [-stepper lockstep|event] [-jitter 0.1] [-seed 42]
+//	           [-stepper lockstep|event] [-jitter 0.1] [-seed 42] [-shard N]
+//	           [-faults SPEC] [-temp SPEC] [-meascost SPEC]
 //	           [-out BENCH_fleet.json] [-progress]
 package main
 
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"quetzal/internal/experiments"
+	"quetzal/internal/faults"
 	"quetzal/internal/fleet"
 )
 
@@ -83,10 +85,14 @@ func main() {
 		envName  = flag.String("env", "less-crowded", "sensing environment")
 		jitter   = flag.Float64("jitter", 0.1, "per-device parameter jitter fraction")
 		seed     = flag.Int64("seed", 42, "fleet seed")
+		shardSz  = flag.Int("shard", 0, "devices per shard (0 = planner default); the digest must not depend on it")
 		stepper  = flag.String("stepper", "lockstep", "time-advance engine: lockstep (default), event or fixed — aggregate_sha256 is identical for lockstep and event")
 		out      = flag.String("out", "BENCH_fleet.json", "output file")
 		progress = flag.Bool("progress", false, "log shard progress to stderr")
 		notes    = flag.String("notes", "", "notes field for the output file")
+		faultsF  = flag.String("faults", "", `fault injection: "task=PCT[%][,limit=K][,dropout=START+DUR[/PERIOD]][,stuck=HIGH[:LOW]]"`)
+		tempF    = flag.String("temp", "", `junction temperature °C: "C[+SWING[/PERIOD]]"`)
+		measF    = flag.String("meascost", "", `per-sample measurement cost: "NJ[:US]"`)
 	)
 	flag.Parse()
 
@@ -96,6 +102,11 @@ func main() {
 		os.Exit(2)
 	}
 	systemID, err := resolveSystem(*system, *policyID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faultSpec, err := faults.FromFlags(*faultsF, *tempF, *measF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -120,12 +131,14 @@ func main() {
 
 	for i, n := range ns {
 		spec := experiments.FleetSpec{
-			Devices: n,
-			System:  systemID,
-			Env:     *envName,
-			Seed:    *seed,
-			Engine:  *stepper,
-			Jitter:  *jitter,
+			Devices:   n,
+			System:    systemID,
+			Env:       *envName,
+			Seed:      *seed,
+			Engine:    *stepper,
+			Jitter:    *jitter,
+			ShardSize: *shardSz,
+			Faults:    faultSpec,
 		}
 		plan, err := spec.Plan()
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"quetzal/internal/experiments"
+	"quetzal/internal/faults"
 	"quetzal/internal/fleet"
 )
 
@@ -40,7 +41,7 @@ func validateFleetFlags(f fleetFlags, timeline, traceOut, tlSVG string) error {
 
 // runFleet executes the fleet and renders it as JSON (an aggregate +
 // stats document) or a human summary.
-func runFleet(f fleetFlags, system, envName string, events int, seed int64, engine string, jsonOut bool) error {
+func runFleet(f fleetFlags, system, envName string, events int, seed int64, engine string, faultSpec faults.Spec, jsonOut bool) error {
 	spec := experiments.FleetSpec{
 		Devices:     f.devices,
 		System:      system,
@@ -51,6 +52,7 @@ func runFleet(f fleetFlags, system, envName string, events int, seed int64, engi
 		ShardSize:   f.shard,
 		Jitter:      f.jitter,
 		Correlation: f.correlation,
+		Faults:      faultSpec,
 	}
 	plan, err := spec.Plan()
 	if err != nil {

@@ -10,6 +10,7 @@
 //	           [-mcu apollo4|msp430] [-events N] [-seed N] [-cells N]
 //	           [-capture SECONDS] [-v] [-json]
 //	           [-stepper fixed|event|lockstep] [-fast]
+//	           [-faults SPEC] [-temp SPEC] [-meascost SPEC]
 //	           [-timeline FILE.csv] [-timelinesvg FILE.svg]
 //	           [-trace FILE.json] [-metrics FILE.txt] [-pprof HOST:PORT]
 //
@@ -22,6 +23,8 @@
 //	quetzalsim -system qz -env crowded -stepper lockstep   # fastest engine, bit-identical to event
 //	quetzalsim -system qz -env crowded -trace run.json   # open in chrome://tracing
 //	quetzalsim -fleet 100000 -system qz -env less-crowded -progress   # population sweep
+//	quetzalsim -system ensure -env crowded -faults "task=100%,limit=2,dropout=30+10/120"
+//	quetzalsim -system qz -env crowded -temp 45+5/3600 -meascost 250:20
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 
 	"quetzal/internal/device"
 	"quetzal/internal/experiments"
+	"quetzal/internal/faults"
 	"quetzal/internal/metrics"
 	"quetzal/internal/obs"
 	"quetzal/internal/plot"
@@ -120,6 +124,10 @@ func main() {
 		metOut   = flag.String("metrics", "", "write a metrics text dump to this file after the run")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this host:port while the run executes")
 
+		faultsF = flag.String("faults", "", `fault injection: "task=PCT[%][,limit=K][,dropout=START+DUR[/PERIOD]][,stuck=HIGH[:LOW]]"`)
+		tempF   = flag.String("temp", "", `junction temperature °C: "C[+SWING[/PERIOD]]" (constant or diurnal, 25–50)`)
+		measF   = flag.String("meascost", "", `per-sample measurement cost: "NJ[:US]" (energy nJ, latency µs)`)
+
 		fleetN   = flag.Int("fleet", 0, "simulate a fleet of N heterogeneous devices and print the aggregate (0 = single run)")
 		shard    = flag.Int("shard", 0, "fleet devices per shard (0 = default)")
 		jitter   = flag.Float64("jitter", 0.1, "fleet per-device parameter jitter fraction")
@@ -138,6 +146,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// A spec given on the command line replaces any environment-level
+	// spec (e.g. -env faulty) rather than merging with it.
+	faultSpec, err := faults.FromFlags(*faultsF, *tempF, *measF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *fleetN > 0 {
 		ff := fleetFlags{devices: *fleetN, shard: *shard, jitter: *jitter,
@@ -152,7 +167,7 @@ func main() {
 		if isFlagSet("events") {
 			fleetEvents = *events
 		}
-		if err := runFleet(ff, systemID, *envName, fleetEvents, *seed, stepperName, *jsonOut); err != nil {
+		if err := runFleet(ff, systemID, *envName, fleetEvents, *seed, stepperName, faultSpec, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -223,7 +238,7 @@ func main() {
 	}
 
 	var res metrics.Results
-	if sinks.timeline != nil || sinks.trace != nil || sinks.reg != nil {
+	if sinks.timeline != nil || sinks.trace != nil || sinks.reg != nil || faultSpec.Enabled() {
 		res, err = setup.RunWith(context.Background(), systemID, env, func(c *sim.Config) {
 			if sinks.timeline != nil {
 				c.Timeline = sinks.timeline
@@ -231,7 +246,12 @@ func main() {
 			if sinks.trace != nil {
 				c.Trace = sinks.trace
 			}
-			c.Metrics = sinks.reg
+			if sinks.reg != nil {
+				c.Metrics = sinks.reg
+			}
+			if faultSpec.Enabled() {
+				c.Faults = faultSpec
+			}
 		})
 	} else {
 		res, err = setup.Run(systemID, env)

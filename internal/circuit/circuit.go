@@ -32,6 +32,16 @@ const (
 	ElementaryCharge = 1.602176634e-19 // C
 )
 
+// Per-sample measurement cost of the module's ADC path (multiplexer
+// settle + 8-bit conversion + the MCU read), in the integer units the
+// fault layer's Spec carries. These are the defaults behind the
+// `-meascost` realism knob; Ashraf et al. (arXiv 2508.08757) show this
+// cost is far from negligible on harvesting-class nodes.
+const (
+	DefaultMeasEnergyNJ  = 250 // nanojoules drawn from the store per sample
+	DefaultMeasLatencyUS = 20  // microseconds of controller latency per sample
+)
+
 // CelsiusToKelvin converts a temperature.
 func CelsiusToKelvin(c float64) float64 { return c + 273.15 }
 

@@ -67,6 +67,11 @@ type Feedback struct {
 	PredictedS float64 // the controller's E[S] at schedule time
 	ObservedS  float64 // measured end-to-end service time
 	Now        float64
+	// Faults counts transient execution faults this job absorbed: each one
+	// was detected at completion and forced a full re-execution, so
+	// ObservedS includes the wasted passes. Policies with fault reserves
+	// (e.g. EnSuRe) read this to validate their k-fault budget.
+	Faults int
 }
 
 // Controller is the decision-making brain the simulator drives. core.Runtime
@@ -93,6 +98,16 @@ type Controller interface {
 // the interface are treated as insensitive.
 type ReplaySensitive interface {
 	ReplaySensitive() bool
+}
+
+// TemperatureAware is an optional Controller marker: a controller whose
+// measurement hardware models junction temperature (core.Runtime's circuit
+// module) implements it, and the engine's fault layer propagates the
+// scenario temperature before every scheduling decision so quantisation
+// error moves with the thermal trajectory. Baselines without measurement
+// hardware simply don't implement it.
+type TemperatureAware interface {
+	SetTemperature(tempC float64)
 }
 
 // EstimatorKind selects how the runtime computes S_e2e.

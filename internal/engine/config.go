@@ -6,6 +6,7 @@ import (
 
 	"quetzal/internal/device"
 	"quetzal/internal/energy"
+	"quetzal/internal/faults"
 	"quetzal/internal/model"
 	"quetzal/internal/policy"
 	"quetzal/internal/trace"
@@ -62,6 +63,16 @@ type Config struct {
 	EventLog io.Writer
 
 	Environment string // label copied into the results
+
+	// Faults declares the hardware-realism scenario (internal/faults):
+	// transient task faults, harvester dropout windows, ADC stuck bits,
+	// per-sample measurement cost and junction temperature. The zero value
+	// is ideal hardware and costs nothing in the hot path.
+	Faults faults.Spec
+	// FaultSeed seeds the fault draws. 0 derives it from Seed
+	// (faults.DeriveSeed); fleets pass a shard-independent split seed
+	// instead so re-sharding replays identical faults.
+	FaultSeed int64
 }
 
 // normalize validates the configuration and fills in defaults, in place.
@@ -140,6 +151,25 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.BufferCapacity <= 0 {
 		return fmt.Errorf("engine: buffer capacity must be positive, got %d", cfg.BufferCapacity)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
+	if cfg.Faults.DropoutDurS > 0 {
+		// Layer the dropout mask here, once, so every stepper — including
+		// lockstep's constant-window analysis — samples the same trace
+		// object. Idempotent across re-normalisation: never re-wrap.
+		if _, ok := cfg.Power.(faults.Dropout); !ok {
+			cfg.Power = faults.Dropout{
+				Base:   cfg.Power,
+				Start:  float64(cfg.Faults.DropoutStartS),
+				Dur:    float64(cfg.Faults.DropoutDurS),
+				Period: float64(cfg.Faults.DropoutPeriodS),
+			}
+		}
+	}
+	if cfg.FaultSeed == 0 && cfg.Faults.Enabled() {
+		cfg.FaultSeed = faults.DeriveSeed(cfg.Seed)
 	}
 	return nil
 }

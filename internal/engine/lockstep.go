@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"quetzal/internal/faults"
 	"quetzal/internal/metrics"
 	"quetzal/internal/trace"
 )
@@ -104,6 +105,17 @@ func (m *Machine) replayCrawl(limit float64) int {
 	// leakage adds a per-step drain Step applies and this loop does not;
 	// CapturePexe<=0 flips DrawPriority into its free-progress branch;
 	// a replay-sensitive controller reads state the replay does not freeze.
+	//
+	// The fault layer needs no extra gate: every realism effect fires from
+	// a site the crawl regime excludes. Measurement charges, temperature
+	// updates, and stuck-bit corruption happen only in invokeController,
+	// which cannot run while a capture is pending (captures.Len() > 0 is
+	// the first gate condition, and Step's capture branch returns before
+	// the controller dispatch); task-fault injection happens only at task
+	// completion inside runTask, equally unreachable here. Dropout windows
+	// are a property of the power trace itself, which the replay samples
+	// every probe step and whose constantWindow case below bounds the
+	// fixed-point fast path away from window edges.
 	if m.captures.Len() == 0 ||
 		m.store.UsableEnergy() > 0 ||
 		m.wasOn != m.store.On() ||
@@ -263,6 +275,32 @@ func constantWindow(tr trace.PowerTrace, t float64) (p, until float64, ok bool) 
 			return 0, 0, false
 		}
 		return pb * s.Factor, until, true
+	case faults.Dropout:
+		lo, hi, inside := s.WindowAt(t)
+		if inside {
+			// Inside a dropout window the trace is bitwise 0 up to the
+			// window's end; stay clear of the edge like the square wave.
+			until := hi - crawlWindowMargin
+			if until <= t {
+				return 0, 0, false
+			}
+			return 0, until, true
+		}
+		pb, until, ok := constantWindow(s.Base, t)
+		if !ok {
+			return 0, 0, false
+		}
+		if !math.IsInf(lo, 1) {
+			// Outside, the base value holds only until the next window
+			// opens; bound the fast path away from that edge too.
+			if edge := lo - crawlWindowMargin; edge < until {
+				until = edge
+			}
+			if until <= t {
+				return 0, 0, false
+			}
+		}
+		return pb, until, true
 	}
 	return 0, 0, false
 }

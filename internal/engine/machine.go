@@ -8,6 +8,7 @@ import (
 	"quetzal/internal/buffer"
 	"quetzal/internal/core"
 	"quetzal/internal/energy"
+	"quetzal/internal/faults"
 	"quetzal/internal/invariant"
 	"quetzal/internal/metrics"
 	"quetzal/internal/model"
@@ -38,6 +39,11 @@ type Machine struct {
 
 	// Per-invocation controller overhead.
 	ovhTime, ovhPower float64
+
+	// flt is the hardware-realism state (nil when cfg.Faults is the zero
+	// Spec — the disabled path costs exactly two nil checks per step at
+	// most, pinned by the zero-cost fingerprint/alloc tests).
+	flt *faultState
 
 	// Live execution state.
 	now         float64
@@ -128,6 +134,22 @@ type jobExec struct {
 	restarts   int     // progress-losing restarts of the current task
 	ckptFail   float64 // ckptAt at the previous power failure (-1: none yet)
 	aborted    bool
+	faults     int // transient faults this job absorbed (→ Feedback.Faults)
+}
+
+// faultState is the live hardware-realism state derived from Config.Faults.
+// Everything it draws is a pure function of (spec, seed, completion index,
+// time) so every stepper — and every shard layout of the same fleet —
+// replays the identical fault sequence.
+type faultState struct {
+	spec         faults.Spec
+	seed         int64
+	left         int    // injectable task faults remaining; -1 = unlimited
+	idx          uint64 // monotone task-completion counter (fault draw index)
+	measJ, measT float64
+	corrupt      bool // spec has stuck ADC bits
+	tempCtl      core.TemperatureAware
+	lastTemp     float64
 }
 
 // New validates the configuration and builds a Machine.
@@ -158,6 +180,29 @@ func initMachine(m *Machine, cfg Config) error {
 	m.res.Environment = cfg.Environment
 	if rs, ok := cfg.Controller.(core.ReplaySensitive); ok {
 		m.replaySensitive = rs.ReplaySensitive()
+	}
+	if cfg.Faults.Enabled() {
+		f := &faultState{spec: cfg.Faults, seed: cfg.FaultSeed}
+		switch {
+		case cfg.Faults.TaskFaultPct == 0:
+			f.left = 0
+		case cfg.Faults.TaskFaultLimit > 0:
+			f.left = cfg.Faults.TaskFaultLimit
+		default:
+			f.left = -1
+		}
+		f.measJ, f.measT = cfg.Faults.MeasCost()
+		f.corrupt = cfg.Faults.StuckHigh != 0 || cfg.Faults.StuckLow != 0
+		if tc, ok := cfg.Controller.(core.TemperatureAware); ok && cfg.Faults.TempC != 0 {
+			// Propagate the scenario temperature before any decision. The
+			// controller keeps its 25 °C profiling codes (core.Runtime
+			// documents why), so the excursion skews the code difference
+			// exactly as it would on hardware.
+			f.tempCtl = tc
+			f.lastTemp = cfg.Faults.TemperatureAt(0)
+			tc.SetTemperature(f.lastTemp)
+		}
+		m.flt = f
 	}
 
 	ops, usesModule := cfg.Controller.RatioOps()
@@ -483,6 +528,43 @@ func (m *Machine) invokeController(dt float64) {
 			return
 		}
 	}
+	if f := m.flt; f != nil {
+		if f.measJ > 0 || f.measT > 0 {
+			// Measurement is not free (Ashraf et al.): charge the ADC
+			// sample(s) this invocation performs — one for input power,
+			// plus one for the store level when the policy reads it
+			// (store-reading policies are exactly the ReplaySensitive
+			// ones). Like the overhead lump, MeasJoules records the
+			// INTENDED energy regardless of what the store could supply,
+			// which makes MeasJoules == MeasSamples × per-sample J an
+			// exact end-of-run identity the invariant checker holds.
+			reads := 1
+			if m.replaySensitive {
+				reads = 2
+			}
+			t := f.measT * float64(reads)
+			j := f.measJ * float64(reads)
+			m.res.MeasSamples += reads
+			m.res.MeasSeconds += t
+			m.res.MeasJoules += j
+			if j > 0 {
+				effT := t
+				if effT <= 0 {
+					effT = 1e-9 // zero-latency spec: draw as a spike
+				}
+				m.store.Draw(j/effT, effT)
+				if !m.store.On() {
+					return
+				}
+			}
+		}
+		if f.tempCtl != nil {
+			if temp := f.spec.TemperatureAt(m.now); temp != f.lastTemp {
+				f.tempCtl.SetTemperature(temp)
+				f.lastTemp = temp
+			}
+		}
+	}
 	env := core.Env{
 		Now:           m.now,
 		InputPower:    m.cfg.Power.Power(m.now),
@@ -490,6 +572,12 @@ func (m *Machine) invokeController(dt float64) {
 		BufferCap:     m.buf.Capacity(),
 		StoreEnergy:   m.store.UsableEnergy(),
 		StoreCapacity: m.store.Capacity() - m.store.Floor(),
+	}
+	if f := m.flt; f != nil && f.corrupt {
+		// Stuck ADC bits corrupt only the MEASURED store level the
+		// controller sees, never the physical store. Quetzal deliberately
+		// ignores StoreEnergy (§4), so only store-reading policies feel it.
+		env.StoreEnergy = f.spec.CorruptStore(env.StoreEnergy, env.StoreCapacity)
 	}
 	dec, ok := m.ctl.NextJob(env, m.buf)
 	if !ok {
@@ -558,6 +646,7 @@ func (m *Machine) invokeController(dt float64) {
 	e.modelS = dec.ModelS
 	e.degraded = dec.Degraded
 	e.aborted = false
+	e.faults = 0
 	m.exec = e
 	m.startTask()
 }
@@ -686,6 +775,38 @@ func (m *Machine) runTask(dt float64) {
 	if e.remaining > 0 {
 		return
 	}
+	// Transient fault injection: the fault is DETECTED at completion
+	// (EnSuRe's detection model), before any credit is recorded — no
+	// executed mark, no option usage, no classifier coin, no packet — so a
+	// re-executed task can never double-count quality or deadline credit.
+	// The draw indexes a monotone completion counter, not the rng stream,
+	// so fault-free completions consume identical randomness whether or
+	// not injection is configured.
+	if f := m.flt; f != nil && f.left != 0 {
+		idx := f.idx
+		f.idx++
+		if f.spec.TaskFaultAt(f.seed, idx) {
+			if f.left > 0 {
+				f.left--
+			}
+			m.res.TransientFaults++
+			e.faults++
+			e.remaining = e.fullTexe
+			e.ckptAt = e.fullTexe
+			e.started = false
+			e.restarts++
+			if m.logging() {
+				m.logf("%.6f fault job=%d task=%d faults=%d\n", m.now, e.job.ID, e.taskIdx, e.faults)
+			}
+			// The watchdog bounds unlimited-fault configs the same way it
+			// bounds restart livelock: abandon the job eventually.
+			const maxRestarts = 10
+			if e.restarts > maxRestarts {
+				e.aborted = true
+			}
+			return
+		}
+	}
 	// Task complete.
 	e.executed[e.taskIdx] = true
 	if task.Degradable() {
@@ -793,6 +914,7 @@ func (m *Machine) completeJob() {
 		PredictedS: e.modelS,
 		ObservedS:  m.now - e.startedAt,
 		Now:        m.now,
+		Faults:     e.faults,
 	})
 }
 
@@ -818,6 +940,7 @@ func (m *Machine) abortJob() {
 		PredictedS: e.modelS,
 		ObservedS:  m.now - e.startedAt,
 		Now:        m.now,
+		Faults:     e.faults,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"quetzal/internal/core"
 	"quetzal/internal/device"
+	"quetzal/internal/faults"
 	"quetzal/internal/metrics"
 	"quetzal/internal/model"
 	"quetzal/internal/policy"
@@ -19,10 +20,14 @@ import (
 )
 
 // Environment is one sensing environment from Table 1, defined by the cap
-// on event durations ("Maximum 'Interesting' Duration").
+// on event durations ("Maximum 'Interesting' Duration"). Faults, when
+// non-zero, layers a hardware-realism scenario (internal/faults) over every
+// run in the environment; the struct stays comparable so environments keep
+// working as RunKey components.
 type Environment struct {
 	Name        string
 	MaxDuration float64 // seconds
+	Faults      faults.Spec
 }
 
 // The paper's three sensing environments (Table 1).
@@ -42,13 +47,30 @@ var (
 	Surge    = Environment{Name: "surge", MaxDuration: 5}
 	Marathon = Environment{Name: "marathon", MaxDuration: 240}
 
+	// Faulty is the crowded environment on unreliable hardware: every task
+	// completion faults until a k=2 budget is spent (so EnSuRe's k-fault
+	// reservation has something to reserve against), the harvester drops out
+	// for 10 s every 2 minutes, and every controller ADC read costs the
+	// datasheet measurement energy. Policies that never re-execute or
+	// over-measure separate from the rest of the league here.
+	Faulty = Environment{Name: "faulty", MaxDuration: 60, Faults: faults.Spec{
+		TaskFaultPct:   100,
+		TaskFaultLimit: 2,
+		DropoutStartS:  30,
+		DropoutDurS:    10,
+		DropoutPeriodS: 120,
+		MeasEnergyNJ:   250,
+		MeasLatencyUS:  20,
+	}}
+
 	// Environments orders the three from most to least crowded, the order
 	// Figures 9–12 sweep them in.
 	Environments = []Environment{MoreCrowded, Crowded, LessCrowded}
 
-	// LeagueEnvironments is the six-environment gauntlet the policy league
-	// table runs: the paper's three, the MSP430 one, and the two extremes.
-	LeagueEnvironments = []Environment{MoreCrowded, Crowded, LessCrowded, MSP430Env, Surge, Marathon}
+	// LeagueEnvironments is the seven-environment gauntlet the policy league
+	// table runs: the paper's three, the MSP430 one, the two extremes, and
+	// the hardware-realism scenario.
+	LeagueEnvironments = []Environment{MoreCrowded, Crowded, LessCrowded, MSP430Env, Surge, Marathon, Faulty}
 )
 
 // DatasheetMaxWatts is the 6-cell harvester's datasheet maximum output —
@@ -77,6 +99,11 @@ type Setup struct {
 	// FixedIncrement is the paper-faithful reference, EventDriven runs
 	// ~50–200× faster with statistically matching results.
 	Engine sim.EngineKind
+
+	// Faults, when enabled, replaces every environment's realism spec for
+	// the whole sweep (the -faults/-temp/-meascost flags); a per-key spec
+	// (RunKey.Faults) still wins over it.
+	Faults faults.Spec
 }
 
 // DefaultSetup returns the Apollo 4 configuration the primary experiments
@@ -181,6 +208,10 @@ func (s Setup) runContext(ctx context.Context, systemID string, env Environment,
 		BufferCapacity: bufCap,
 		Seed:           s.Seed + 7,
 		Environment:    env.Name,
+		Faults:         env.Faults,
+	}
+	if s.Faults.Enabled() {
+		cfg.Faults = s.Faults
 	}
 	if mutate != nil {
 		mutate(&cfg)

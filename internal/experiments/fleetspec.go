@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 
+	"quetzal/internal/faults"
 	"quetzal/internal/sim"
 )
 
@@ -58,12 +59,20 @@ type FleetPlan struct {
 	ShardSize   int
 	Jitter      float64 // per-device parameter jitter fraction, in [0, 0.5]
 	Correlation float64 // regional-sky blend weight, in (0, 1]
+	// Faults is the fleet-wide hardware-realism scenario (zero → the
+	// environment's own spec). Per-device fault draws derive from the fleet
+	// seed and device index (fleet.StreamFaults), never from shard layout.
+	Faults faults.Spec
 }
 
 // String renders the plan for progress lines and wrapped errors.
 func (p FleetPlan) String() string {
-	return fmt.Sprintf("fleet %d×%s/%s profile=%s events=%d seed=%d shard=%d jitter=%g corr=%g",
+	s := fmt.Sprintf("fleet %d×%s/%s profile=%s events=%d seed=%d shard=%d jitter=%g corr=%g",
 		p.Devices, p.System, p.Env.Name, p.Profile, p.Events, p.Seed, p.ShardSize, p.Jitter, p.Correlation)
+	if p.Faults.Enabled() {
+		s += " realism=" + p.Faults.String()
+	}
+	return s
 }
 
 // FleetSpec is the JSON form of one fleet request. Apart from Devices and
@@ -92,6 +101,9 @@ type FleetSpec struct {
 	// Correlation in (0, 1]; 0 → DefaultFleetCorrelation. Use a tiny value
 	// (e.g. 0.001) for effectively independent skies.
 	Correlation float64 `json:"correlation,omitempty"`
+	// Faults overrides the environment's hardware-realism scenario for the
+	// whole fleet (integer knobs; see faults.Spec's json tags).
+	Faults faults.Spec `json:"faults,omitempty"`
 }
 
 // Plan validates the spec and resolves it to a concrete FleetPlan — the
@@ -196,6 +208,9 @@ func (sp FleetSpec) Plan() (FleetPlan, error) {
 	if corr == 0 {
 		corr = DefaultFleetCorrelation
 	}
+	if err := sp.Faults.Validate(); err != nil {
+		return FleetPlan{}, fmt.Errorf("faults: %w", err)
+	}
 
 	return FleetPlan{
 		Devices:     sp.Devices,
@@ -208,5 +223,6 @@ func (sp FleetSpec) Plan() (FleetPlan, error) {
 		ShardSize:   shard,
 		Jitter:      sp.Jitter,
 		Correlation: corr,
+		Faults:      sp.Faults,
 	}, nil
 }

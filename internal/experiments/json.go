@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"quetzal/internal/faults"
 	"quetzal/internal/metrics"
 	"quetzal/internal/policy"
 	"quetzal/internal/sim"
@@ -60,6 +61,10 @@ type KeySpec struct {
 	Checkpoint         string  `json:"checkpoint,omitempty"` // "", "jit", "none", "periodic"
 	CheckpointInterval float64 `json:"checkpoint_interval,omitempty"`
 	StoreCapacitance   float64 `json:"store_capacitance,omitempty"`
+
+	// Faults is the hardware-realism scenario (integer knobs; see
+	// faults.Spec's json tags). Omitted/zero → the environment's own spec.
+	Faults faults.Spec `json:"faults,omitempty"`
 }
 
 // ValidSystem reports whether id names a system Run accepts: any policy
@@ -216,6 +221,9 @@ func (sp KeySpec) RunKey() (RunKey, error) {
 			return RunKey{}, err
 		}
 	}
+	if err := sp.Faults.Validate(); err != nil {
+		return RunKey{}, fmt.Errorf("faults: %w", err)
+	}
 
 	return RunKey{
 		System:             system,
@@ -233,6 +241,7 @@ func (sp KeySpec) RunKey() (RunKey, error) {
 		Checkpoint:         ckpt,
 		CheckpointInterval: sp.CheckpointInterval,
 		StoreCapacitance:   sp.StoreCapacitance,
+		Faults:             sp.Faults,
 	}, nil
 }
 

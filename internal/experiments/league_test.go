@@ -19,7 +19,7 @@ func leagueSetup() Setup {
 }
 
 // TestLeaguePlan pins the plan's shape and order: environment-major over
-// the six-environment gauntlet, all league policies present.
+// the seven-environment gauntlet, all league policies present.
 func TestLeaguePlan(t *testing.T) {
 	keys := LeaguePlan(nil, nil)
 	want := len(LeaguePolicies) * len(LeagueEnvironments)
@@ -29,8 +29,11 @@ func TestLeaguePlan(t *testing.T) {
 	if len(LeaguePolicies) < 6 {
 		t.Fatalf("league has %d policies, want at least 6", len(LeaguePolicies))
 	}
-	if len(LeagueEnvironments) != 6 {
-		t.Fatalf("league has %d environments, want 6", len(LeagueEnvironments))
+	if len(LeagueEnvironments) != 7 {
+		t.Fatalf("league has %d environments, want 7", len(LeagueEnvironments))
+	}
+	if last := LeagueEnvironments[len(LeagueEnvironments)-1]; last.Name != "faulty" || !last.Faults.Enabled() {
+		t.Fatalf("last league environment = %+v, want the faulty realism environment", last)
 	}
 	for i, k := range keys {
 		wantEnv := LeagueEnvironments[i/len(LeaguePolicies)]

@@ -15,6 +15,7 @@ import (
 
 	"quetzal/internal/device"
 	"quetzal/internal/energy"
+	"quetzal/internal/faults"
 	"quetzal/internal/metrics"
 	"quetzal/internal/runner"
 	"quetzal/internal/sim"
@@ -70,6 +71,11 @@ type RunKey struct {
 	Checkpoint         sim.CheckpointPolicy
 	CheckpointInterval float64
 	StoreCapacitance   float64 // farads; overrides the default store
+
+	// Faults layers a hardware-realism scenario over the run (zero → the
+	// environment's own spec, if any). faults.Spec is comparable, so keys
+	// carrying one still address the sweep cache.
+	Faults faults.Spec
 }
 
 // String renders the key compactly for progress lines and wrapped errors:
@@ -114,6 +120,9 @@ func (k RunKey) String() string {
 	if k.StoreCapacitance != 0 {
 		opt("store=%gF", k.StoreCapacitance)
 	}
+	if k.Faults.Enabled() {
+		opt("faults=%s", k.Faults)
+	}
 	return b.String()
 }
 
@@ -149,7 +158,7 @@ func (s Setup) resolve(k RunKey) (Setup, func(*sim.Config), error) {
 		s.Engine = k.Engine
 	}
 	if k.BufferCapacity == 0 && k.Jitter == 0 && k.Checkpoint == sim.JITCheckpoint &&
-		k.CheckpointInterval == 0 && k.StoreCapacitance == 0 {
+		k.CheckpointInterval == 0 && k.StoreCapacitance == 0 && !k.Faults.Enabled() {
 		return s, nil, nil // no simulator-level overrides
 	}
 	mutate := func(c *sim.Config) {
@@ -167,6 +176,9 @@ func (s Setup) resolve(k RunKey) (Setup, func(*sim.Config), error) {
 			store := energy.DefaultConfig()
 			store.Capacitance = k.StoreCapacitance
 			c.Store = store
+		}
+		if k.Faults.Enabled() {
+			c.Faults = k.Faults
 		}
 	}
 	return s, mutate, nil

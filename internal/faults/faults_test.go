@@ -1,0 +1,310 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quetzal/internal/trace"
+)
+
+func TestValidateAcceptsZeroAndRepresentativeSpecs(t *testing.T) {
+	good := []Spec{
+		{},
+		{TaskFaultPct: 100, TaskFaultLimit: 2},
+		{TaskFaultPct: 5},
+		{DropoutDurS: 5},
+		{DropoutStartS: 10, DropoutDurS: 5, DropoutPeriodS: 60},
+		{StuckHigh: 0x80},
+		{StuckHigh: 0x08, StuckLow: 0x01},
+		{MeasEnergyNJ: 250, MeasLatencyUS: 20},
+		{TempC: 25},
+		{TempC: 45, TempSwingC: 5},
+		{TempC: 40, TempSwingC: 10, TempPeriodS: 3600},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+}
+
+func TestValidateRejectsInconsistentSpecs(t *testing.T) {
+	bad := []Spec{
+		{TaskFaultPct: 101},
+		{TaskFaultPct: -1},
+		{TaskFaultLimit: 2}, // limit without probability
+		{TaskFaultPct: 10, TaskFaultLimit: -1},
+		{DropoutStartS: 10}, // start without duration
+		{DropoutDurS: -1},
+		{DropoutDurS: 5, DropoutPeriodS: 5}, // period must exceed duration
+		{DropoutPeriodS: 60},                // period without duration
+		{StuckHigh: 256},
+		{StuckLow: -1},
+		{StuckHigh: 0x0c, StuckLow: 0x04}, // overlapping masks
+		{MeasEnergyNJ: -1},
+		{MeasEnergyNJ: 2_000_000},
+		{MeasLatencyUS: -1},
+		{TempC: 24},                   // below the characterised band
+		{TempC: 51},                   // above the characterised band
+		{TempSwingC: 5},               // swing without base temperature
+		{TempC: 48, TempSwingC: 5},    // excursion exits the band
+		{TempC: 27, TempSwingC: 5},    // excursion exits the band (low side)
+		{TempC: 40, TempPeriodS: 600}, // period without swing
+		{TempC: 40, TempSwingC: -1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+}
+
+func TestEnabledMatchesZeroValue(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Fatal("zero Spec reports Enabled")
+	}
+	if !(Spec{TempC: 30}).Enabled() {
+		t.Fatal("nonzero Spec reports disabled")
+	}
+}
+
+func TestTaskFaultAtIsDeterministicAndRateAccurate(t *testing.T) {
+	s := Spec{TaskFaultPct: 30}
+	const n = 20000
+	hits := 0
+	for i := uint64(0); i < n; i++ {
+		a := s.TaskFaultAt(42, i)
+		if b := s.TaskFaultAt(42, i); a != b {
+			t.Fatalf("TaskFaultAt(42, %d) not deterministic", i)
+		}
+		if a {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.30) > 0.02 {
+		t.Fatalf("fault rate %.3f, want ~0.30", rate)
+	}
+	// Different seeds must draw different fault sets.
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if s.TaskFaultAt(42, i) == s.TaskFaultAt(43, i) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("seeds 42 and 43 produced identical fault sequences")
+	}
+	if (Spec{}).TaskFaultAt(42, 7) {
+		t.Fatal("zero spec injected a fault")
+	}
+}
+
+func TestTemperatureAt(t *testing.T) {
+	if got := (Spec{}).TemperatureAt(1e6); got != 25 {
+		t.Fatalf("zero spec temperature = %v, want 25", got)
+	}
+	if got := (Spec{TempC: 45}).TemperatureAt(123); got != 45 {
+		t.Fatalf("constant temperature = %v, want 45", got)
+	}
+	s := Spec{TempC: 40, TempSwingC: 10, TempPeriodS: 100}
+	if got := s.TemperatureAt(25); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("peak temperature = %v, want 50", got)
+	}
+	if got := s.TemperatureAt(75); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("trough temperature = %v, want 30", got)
+	}
+	// Default period: quarter-period of 86400 s reaches the peak.
+	d := Spec{TempC: 40, TempSwingC: 5}
+	if got := d.TemperatureAt(86400.0 / 4); math.Abs(got-45) > 1e-9 {
+		t.Fatalf("default-period peak = %v, want 45", got)
+	}
+	// The whole trajectory of any valid spec stays inside the band.
+	for _, s := range []Spec{{TempC: 45, TempSwingC: 5}, {TempC: 30, TempSwingC: 5, TempPeriodS: 60}} {
+		for tt := 0.0; tt < 200; tt += 1.7 {
+			got := s.TemperatureAt(tt)
+			if got < MinTempC-1e-9 || got > MaxTempC+1e-9 {
+				t.Fatalf("TemperatureAt(%v) = %v leaves [%d, %d]", tt, got, MinTempC, MaxTempC)
+			}
+		}
+	}
+}
+
+func TestCorruptStore(t *testing.T) {
+	// No stuck bits: exact passthrough, no quantisation.
+	if got := (Spec{}).CorruptStore(0.123456789, 1); got != 0.123456789 {
+		t.Fatalf("passthrough changed the value: %v", got)
+	}
+	s := Spec{StuckHigh: 0x80}
+	// With bit 7 stuck high every reading lands in the upper half-scale.
+	if got := s.CorruptStore(0, 1); got < 0.5 {
+		t.Fatalf("stuck-high measurement %v below half scale", got)
+	}
+	low := Spec{StuckLow: 0xFF}
+	if got := low.CorruptStore(0.9, 1); got != 0 {
+		t.Fatalf("all-bits-low measurement %v, want 0", got)
+	}
+	// Corrupted readings stay inside [0, capacity] for hostile inputs.
+	for _, e := range []float64{-5, 0, 0.3, 1, 7} {
+		got := s.CorruptStore(e, 1)
+		if got < 0 || got > 1 {
+			t.Fatalf("CorruptStore(%v, 1) = %v outside [0, 1]", e, got)
+		}
+	}
+	// Zero capacity: passthrough rather than dividing by zero.
+	if got := s.CorruptStore(0.4, 0); got != 0.4 {
+		t.Fatalf("zero-capacity corrupt = %v, want passthrough", got)
+	}
+}
+
+func TestMeasCost(t *testing.T) {
+	j, sec := (Spec{MeasEnergyNJ: 250, MeasLatencyUS: 20}).MeasCost()
+	if math.Abs(j-250e-9) > 1e-18 || math.Abs(sec-20e-6) > 1e-15 {
+		t.Fatalf("MeasCost = (%v, %v), want (2.5e-7, 2e-5)", j, sec)
+	}
+	if j, sec := (Spec{}).MeasCost(); j != 0 || sec != 0 {
+		t.Fatalf("zero-spec MeasCost = (%v, %v)", j, sec)
+	}
+}
+
+func TestDropoutTrace(t *testing.T) {
+	base := trace.Constant{P: 0.04}
+	d := Dropout{Base: base, Start: 10, Dur: 5}
+	for _, tc := range []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0.04}, {9.999, 0.04}, {10, 0}, {12.5, 0}, {14.999, 0}, {15, 0.04}, {100, 0.04},
+	} {
+		if got := d.Power(tc.t); got != tc.want {
+			t.Errorf("one-shot Power(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	p := Dropout{Base: base, Start: 10, Dur: 5, Period: 60}
+	for _, tc := range []struct {
+		t    float64
+		want float64
+	}{
+		{9, 0.04}, {12, 0}, {15, 0.04}, {69, 0.04}, {70, 0}, {74.9, 0}, {75, 0.04}, {130.1, 0},
+	} {
+		if got := p.Power(tc.t); got != tc.want {
+			t.Errorf("periodic Power(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestDropoutWindowAt(t *testing.T) {
+	d := Dropout{Base: trace.Constant{P: 1}, Start: 10, Dur: 5, Period: 60}
+	lo, hi, inside := d.WindowAt(12)
+	if !inside || lo != 10 || hi != 15 {
+		t.Fatalf("WindowAt(12) = (%v, %v, %v), want (10, 15, true)", lo, hi, inside)
+	}
+	lo, hi, inside = d.WindowAt(20)
+	if inside || lo != 70 || hi != 75 {
+		t.Fatalf("WindowAt(20) = (%v, %v, %v), want next window (70, 75, false)", lo, hi, inside)
+	}
+	lo, _, inside = d.WindowAt(3)
+	if inside || lo != 10 {
+		t.Fatalf("WindowAt(3) = (%v, _, %v), want (10, false)", lo, inside)
+	}
+	one := Dropout{Base: trace.Constant{P: 1}, Start: 10, Dur: 5}
+	if lo, _, inside := one.WindowAt(30); inside || !math.IsInf(lo, 1) {
+		t.Fatalf("one-shot WindowAt(30) = (%v, _, %v), want (+Inf, false)", lo, inside)
+	}
+	// WindowAt must agree with Power everywhere.
+	for tt := 0.0; tt < 200; tt += 0.37 {
+		_, _, inside := d.WindowAt(tt)
+		if inside != (d.Power(tt) == 0) {
+			t.Fatalf("WindowAt(%v) inside=%v disagrees with Power=%v", tt, inside, d.Power(tt))
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	s := Spec{DropoutStartS: 10, DropoutDurS: 5, DropoutPeriodS: 60}
+	got := s.Windows(140)
+	want := [][2]float64{{10, 15}, {70, 75}, {130, 135}}
+	if len(got) != len(want) {
+		t.Fatalf("Windows(140) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Windows(140)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	one := Spec{DropoutStartS: 10, DropoutDurS: 5}
+	if got := one.Windows(1000); len(got) != 1 || got[0] != [2]float64{10, 15} {
+		t.Fatalf("one-shot Windows = %v", got)
+	}
+	if got := (Spec{}).Windows(1000); got != nil {
+		t.Fatalf("zero-spec Windows = %v, want nil", got)
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	seen := map[int64]bool{}
+	for s := int64(0); s < 1000; s++ {
+		d := DeriveSeed(s)
+		if d == s {
+			t.Fatalf("DeriveSeed(%d) is the identity", s)
+		}
+		if seen[d] {
+			t.Fatalf("DeriveSeed collision at %d", s)
+		}
+		seen[d] = true
+	}
+}
+
+func TestFlagParsers(t *testing.T) {
+	var s Spec
+	if err := s.SetFaultsFlag("task=30,limit=2,dropout=10+5/60,stuck=0x08:0x01"); err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{TaskFaultPct: 30, TaskFaultLimit: 2, DropoutStartS: 10, DropoutDurS: 5,
+		DropoutPeriodS: 60, StuckHigh: 8, StuckLow: 1}
+	if s != want {
+		t.Fatalf("SetFaultsFlag = %+v, want %+v", s, want)
+	}
+	var tmp Spec
+	if err := tmp.SetTempFlag("45+5/3600"); err != nil {
+		t.Fatal(err)
+	}
+	if (tmp != Spec{TempC: 45, TempSwingC: 5, TempPeriodS: 3600}) {
+		t.Fatalf("SetTempFlag = %+v", tmp)
+	}
+	var m Spec
+	if err := m.SetMeasFlag("250:20"); err != nil {
+		t.Fatal(err)
+	}
+	if (m != Spec{MeasEnergyNJ: 250, MeasLatencyUS: 20}) {
+		t.Fatalf("SetMeasFlag = %+v", m)
+	}
+	for _, bad := range []string{"task", "task=x", "dropout=5", "dropout=a+b", "stuck=zz", "bogus=1"} {
+		var s Spec
+		if err := s.SetFaultsFlag(bad); err == nil {
+			t.Errorf("SetFaultsFlag(%q) accepted", bad)
+		}
+	}
+	var s2 Spec
+	if err := s2.SetTempFlag("warm"); err == nil {
+		t.Error("SetTempFlag(warm) accepted")
+	}
+	if err := s2.SetMeasFlag("a:b"); err == nil {
+		t.Error("SetMeasFlag(a:b) accepted")
+	}
+}
+
+func TestStringRoundsTrips(t *testing.T) {
+	if got := (Spec{}).String(); got != "none" {
+		t.Fatalf("zero String = %q", got)
+	}
+	s := Spec{TaskFaultPct: 100, TaskFaultLimit: 2, DropoutStartS: 10, DropoutDurS: 5,
+		TempC: 45, TempSwingC: 5, MeasEnergyNJ: 250, MeasLatencyUS: 20, StuckHigh: 8}
+	got := s.String()
+	for _, frag := range []string{"task=100%x2", "drop=10+5", "stuck=0x8:0", "meas=250nJ:20us", "temp=45+5"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("String() = %q missing %q", got, frag)
+		}
+	}
+}

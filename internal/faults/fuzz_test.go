@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"quetzal/internal/trace"
+)
+
+// FuzzFaultSpec holds the spec layer to its contract: a spec either fails
+// Validate (rejected ⇒ nothing runs) or is accepted, in which case every
+// derived quantity must replay deterministically and stay inside its
+// physical bounds — the same guarantee the engine relies on for
+// cross-stepper and cross-shard bit-identity.
+func FuzzFaultSpec(f *testing.F) {
+	f.Add(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, int64(1))
+	f.Add(100, 2, 10, 5, 0, 0, 0, 0, 0, 0, 0, 0, int64(42))
+	f.Add(30, 0, 10, 5, 60, 8, 1, 250, 20, 45, 5, 3600, int64(7))
+	f.Add(5, 1, 0, 0, 0, 255, 0, 1000000, 1000000, 50, 0, 0, int64(-3))
+	f.Add(-1, 0, 0, -5, 3, 256, -1, -7, 2000000, 24, 99, -1, int64(0))
+	f.Fuzz(func(t *testing.T, pct, limit, dropStart, dropDur, dropPeriod,
+		stuckHigh, stuckLow, measNJ, measUS, tempC, tempSwing, tempPeriod int, seed int64) {
+		s := Spec{
+			TaskFaultPct: pct, TaskFaultLimit: limit,
+			DropoutStartS: dropStart, DropoutDurS: dropDur, DropoutPeriodS: dropPeriod,
+			StuckHigh: stuckHigh, StuckLow: stuckLow,
+			MeasEnergyNJ: measNJ, MeasLatencyUS: measUS,
+			TempC: tempC, TempSwingC: tempSwing, TempPeriodS: tempPeriod,
+		}
+		if err := s.Validate(); err != nil {
+			if err.Error() == "" {
+				t.Fatal("rejection with empty error")
+			}
+			return // rejected ⇒ no run
+		}
+		if s.Enabled() != (s != Spec{}) {
+			t.Fatalf("Enabled()=%v disagrees with zero test", s.Enabled())
+		}
+		if s.String() == "" {
+			t.Fatal("accepted spec renders empty String")
+		}
+		// Deterministic replay: identical draws on a second pass.
+		for i := uint64(0); i < 64; i++ {
+			if s.TaskFaultAt(seed, i) != s.TaskFaultAt(seed, i) {
+				t.Fatalf("TaskFaultAt(%d, %d) not deterministic", seed, i)
+			}
+		}
+		// Temperature stays inside the characterised band.
+		for _, tt := range []float64{0, 1, 17.3, 86400.0 / 4, 123456} {
+			temp := s.TemperatureAt(tt)
+			if temp != s.TemperatureAt(tt) {
+				t.Fatalf("TemperatureAt(%v) not deterministic", tt)
+			}
+			if temp < MinTempC-1e-9 || temp > MaxTempC+1e-9 {
+				t.Fatalf("TemperatureAt(%v) = %v leaves [%d, %d]", tt, temp, MinTempC, MaxTempC)
+			}
+		}
+		// Corrupted measurements stay inside the store's range.
+		for _, e := range []float64{-1, 0, 0.25, 0.5, 1, 2} {
+			got := s.CorruptStore(e, 1)
+			if got != s.CorruptStore(e, 1) {
+				t.Fatalf("CorruptStore(%v) not deterministic", e)
+			}
+			if s.StuckHigh != 0 || s.StuckLow != 0 {
+				if got < 0 || got > 1 {
+					t.Fatalf("CorruptStore(%v, 1) = %v outside [0, 1]", e, got)
+				}
+			} else if got != e {
+				t.Fatalf("CorruptStore passthrough changed %v to %v", e, got)
+			}
+		}
+		j, sec := s.MeasCost()
+		if j < 0 || j > 1e-3 || sec < 0 || sec > 1 {
+			t.Fatalf("MeasCost = (%v, %v) outside physical bounds", j, sec)
+		}
+		// Dropout trace: Power is 0 exactly inside WindowAt windows, the
+		// base value outside, and Windows() tiles the same intervals.
+		d := Dropout{Base: trace.Constant{P: 0.04},
+			Start:  float64(s.DropoutStartS),
+			Dur:    float64(s.DropoutDurS),
+			Period: float64(s.DropoutPeriodS)}
+		for tt := 0.0; tt < 200; tt += 0.7 {
+			lo, hi, inside := d.WindowAt(tt)
+			p := d.Power(tt)
+			if inside != (p == 0) && s.DropoutDurS > 0 {
+				t.Fatalf("WindowAt(%v) inside=%v disagrees with Power=%v", tt, inside, p)
+			}
+			if inside && (tt < lo || tt >= hi) {
+				t.Fatalf("WindowAt(%v) inside but bounds [%v, %v) exclude t", tt, lo, hi)
+			}
+			if !inside && !math.IsInf(lo, 1) && lo <= tt {
+				t.Fatalf("WindowAt(%v) next window [%v, %v) starts in the past", tt, lo, hi)
+			}
+		}
+		for _, w := range s.Windows(200) {
+			mid := (w[0] + w[1]) / 2
+			if d.Power(mid) != 0 {
+				t.Fatalf("Windows() interval %v not dropped at %v", w, mid)
+			}
+		}
+	})
+}

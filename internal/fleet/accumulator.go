@@ -32,6 +32,8 @@ type Totals struct {
 	JobsCompleted        int `json:"jobs_completed"`
 	Degradations         int `json:"degradations"`
 	Brownouts            int `json:"brownouts"`
+	TransientFaults      int `json:"transient_faults"`
+	MeasSamples          int `json:"meas_samples"`
 }
 
 func (t *Totals) add(o Totals) {
@@ -48,6 +50,8 @@ func (t *Totals) add(o Totals) {
 	t.JobsCompleted += o.JobsCompleted
 	t.Degradations += o.Degradations
 	t.Brownouts += o.Brownouts
+	t.TransientFaults += o.TransientFaults
+	t.MeasSamples += o.MeasSamples
 }
 
 // Block is one shard's results in columnar form: one entry per device, in
@@ -104,6 +108,8 @@ func (b *Block) Push(s metrics.Summary) {
 		JobsCompleted:        s.JobsCompleted,
 		Degradations:         s.Degradations,
 		Brownouts:            s.Brownouts,
+		TransientFaults:      s.TransientFaults,
+		MeasSamples:          s.MeasSamples,
 	})
 }
 
@@ -172,6 +178,8 @@ func (a *Accumulator) Fold(s metrics.Summary) {
 		JobsCompleted:        s.JobsCompleted,
 		Degradations:         s.Degradations,
 		Brownouts:            s.Brownouts,
+		TransientFaults:      s.TransientFaults,
+		MeasSamples:          s.MeasSamples,
 	})
 }
 

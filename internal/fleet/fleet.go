@@ -44,6 +44,10 @@ const (
 	// StreamRegional seeds the fleet's shared regional sky (device index
 	// ignored — one series per fleet).
 	StreamRegional
+	// StreamFaults seeds the device's transient-fault draws
+	// (internal/faults). Appended after StreamRegional so every earlier
+	// stream keeps its historical values.
+	StreamFaults
 )
 
 func splitmix64(x uint64) uint64 {
@@ -207,7 +211,7 @@ func (f *fleetRun) deviceConfig(i int) (sim.Config, error) {
 	if ctlBufCap > 0 {
 		bufCap = ctlBufCap
 	}
-	return sim.Config{
+	cfg := sim.Config{
 		Profile:        setup.Profile,
 		App:            app,
 		Controller:     ctl,
@@ -221,7 +225,19 @@ func (f *fleetRun) deviceConfig(i int) (sim.Config, error) {
 		Seed:           DeviceSeed(plan.Seed, i, StreamSim),
 		Checks:         f.check,
 		Environment:    plan.Env.Name,
-	}, nil
+	}
+	// Hardware realism: a plan-level spec overrides the environment's own.
+	// The fault seed derives from (fleet seed, device, stream) like every
+	// other per-device stream, so aggregates stay byte-identical across
+	// shard sizes and worker counts.
+	cfg.Faults = plan.Env.Faults
+	if plan.Faults.Enabled() {
+		cfg.Faults = plan.Faults
+	}
+	if cfg.Faults.Enabled() {
+		cfg.FaultSeed = DeviceSeed(plan.Seed, i, StreamFaults)
+	}
+	return cfg, nil
 }
 
 // runShard simulates devices [s.Start, s.End) in device order and returns

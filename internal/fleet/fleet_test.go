@@ -204,6 +204,57 @@ func TestFleetSolarOrderInvariance(t *testing.T) {
 	}
 }
 
+// TestFleetFaultyShardInvariance extends the determinism pin to the
+// hardware-realism layer: a faulty fleet (transient faults, dropouts,
+// measurement cost) must stay byte-identical across shard sizes and worker
+// counts, which requires every fault draw to derive from the split fault
+// stream (StreamFaults) and not from shard-local state. The CI faults-smoke
+// job runs the same check at 10k devices.
+func TestFleetFaultyShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet determinism sweep is seconds-long")
+	}
+	const devices = 96
+	faulty := func(sp *experiments.FleetSpec) {
+		sp.Env = "faulty" // the league's realism environment
+	}
+	var reference []byte
+	for _, cfg := range []struct {
+		workers, shard int
+	}{
+		{1, devices},
+		{4, 16},
+		{16, 7}, // ragged final shard
+	} {
+		plan := testPlan(t, devices, func(sp *experiments.FleetSpec) {
+			faulty(sp)
+			sp.ShardSize = cfg.shard
+		})
+		if !plan.Env.Faults.Enabled() {
+			t.Fatal("faulty environment resolved without a realism spec")
+		}
+		agg, _, err := Run(context.Background(), plan, Options{Workers: cfg.workers})
+		if err != nil {
+			t.Fatalf("workers=%d shard=%d: %v", cfg.workers, cfg.shard, err)
+		}
+		got, err := json.Marshal(agg)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if reference == nil {
+			reference = got
+			if agg.Totals.Arrivals == 0 || agg.Totals.TransientFaults == 0 {
+				t.Fatalf("degenerate faulty reference (no arrivals or no faults): %s", got)
+			}
+			continue
+		}
+		if string(got) != string(reference) {
+			t.Errorf("workers=%d shard=%d: faulty aggregate diverged from reference\n got: %s\nwant: %s",
+				cfg.workers, cfg.shard, got, reference)
+		}
+	}
+}
+
 // TestFleetRejectsUnresolvedPlan pins that fleet.Run refuses a hand-built
 // plan that skipped FleetSpec.Plan.
 func TestFleetRejectsUnresolvedPlan(t *testing.T) {

@@ -39,6 +39,17 @@ type Config struct {
 	// MaxRecorded bounds how many violations are kept (default 8); the
 	// total count is tracked regardless.
 	MaxRecorded int
+
+	// MeasPerSampleJ, when positive, is the configured per-ADC-sample
+	// measurement energy (faults.Spec.MeasCost). Finish then holds the
+	// exact identity MeasJoules == MeasSamples × MeasPerSampleJ — the
+	// engine records INTENDED energy per sample, so any double charge (or
+	// dropped charge) breaks the identity by at least one sample's energy.
+	MeasPerSampleJ float64
+	// DropoutWindows lists harvester dropout [start, end) intervals
+	// (faults.Spec.Windows). A step fully inside a window must harvest
+	// exactly 0 J — bitwise, since Harvest(0, dt) adds exactly 0.
+	DropoutWindows [][2]float64
 }
 
 // StoreState snapshots the energy store's live accounting.
@@ -97,6 +108,9 @@ type Checker struct {
 	haveBase  bool
 	maxBufLen int
 	maxDriftJ float64
+	// prevHarvested tracks the lifetime harvest counter across steps for
+	// the dropout-window zero-harvest check.
+	prevHarvested float64
 }
 
 // New builds a checker.
@@ -143,8 +157,9 @@ func (c *Checker) Step(st StepState) {
 	tol := c.cfg.EnergyTolJ
 
 	// Simulated time must never move backwards.
-	if st.Now < c.prevNow {
-		c.record("monotonic-time", st.Now, "time went backwards: %.9f after %.9f", st.Now, c.prevNow)
+	prevNow := c.prevNow
+	if st.Now < prevNow {
+		c.record("monotonic-time", st.Now, "time went backwards: %.9f after %.9f", st.Now, prevNow)
 	}
 	c.prevNow = st.Now
 
@@ -183,6 +198,22 @@ func (c *Checker) Step(st StepState) {
 	if st.BufferLen > c.maxBufLen {
 		c.maxBufLen = st.BufferLen
 	}
+
+	// Harvester dropout: a step lying fully inside a declared dropout
+	// window samples 0 W at every left endpoint, so the lifetime harvest
+	// counter must not move at all — exactly, not within tolerance.
+	if len(c.cfg.DropoutWindows) > 0 && c.steps > 1 {
+		for _, w := range c.cfg.DropoutWindows {
+			if prevNow >= w[0] && st.Now <= w[1] {
+				if d := s.Harvested - c.prevHarvested; d != 0 {
+					c.record("dropout-harvest", st.Now,
+						"harvested %.12g J inside dropout window [%g, %g)", d, w[0], w[1])
+				}
+				break
+			}
+		}
+	}
+	c.prevHarvested = s.Harvested
 }
 
 // Finish checks the end-of-run identities and returns every violation the
@@ -231,6 +262,19 @@ func (c *Checker) Finish(fs FinalState) error {
 		if d := r.HarvestedJoules - fs.Store.Harvested; d > c.cfg.EnergyTolJ || d < -c.cfg.EnergyTolJ {
 			c.record("stats-mismatch", fs.Now,
 				"results harvested %.9g ≠ store harvested %.9g", r.HarvestedJoules, fs.Store.Harvested)
+		}
+	}
+
+	// Measurement-energy conservation: the engine records the intended
+	// per-sample energy on every charge, so the total is EXACTLY samples ×
+	// per-sample cost (the 1e-12 J slack covers float accumulation order,
+	// orders of magnitude below one sample's charge). A sample charged
+	// twice — or never — breaks this by at least MeasPerSampleJ.
+	if c.cfg.MeasPerSampleJ > 0 {
+		want := float64(r.MeasSamples) * c.cfg.MeasPerSampleJ
+		if d := r.MeasJoules - want; d > 1e-12 || d < -1e-12 {
+			c.record("meas-conservation", fs.Now,
+				"meas energy %.12g J ≠ %d samples × %.12g J", r.MeasJoules, r.MeasSamples, c.cfg.MeasPerSampleJ)
 		}
 	}
 

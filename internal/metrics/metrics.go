@@ -85,6 +85,17 @@ type Results struct {
 	HarvestedJoules  float64
 	ConsumedJoules   float64
 	WastedJoules     float64 // harvest lost to regulation while the store was full
+
+	// Hardware realism (internal/faults). TransientFaults counts injected
+	// task-execution faults detected at completion (each forces a full
+	// re-execution). MeasSamples counts controller ADC reads charged for;
+	// MeasJoules/MeasSeconds are the intended per-sample costs summed over
+	// the run (MeasJoules == MeasSamples × per-sample energy exactly — the
+	// invariant checker holds this identity).
+	TransientFaults int
+	MeasSamples     int
+	MeasJoules      float64
+	MeasSeconds     float64
 }
 
 // IBOLossesInteresting totals interesting inputs lost at the buffer

@@ -43,6 +43,8 @@ type Summary struct {
 	JobsCompleted        int
 	Degradations         int
 	Brownouts            int
+	TransientFaults      int
+	MeasSamples          int
 }
 
 // Summarize projects full run results down to the fold interface.
@@ -68,5 +70,7 @@ func Summarize(r *Results) Summary {
 		JobsCompleted:        r.JobsCompleted,
 		Degradations:         r.Degradations,
 		Brownouts:            r.Brownouts,
+		TransientFaults:      r.TransientFaults,
+		MeasSamples:          r.MeasSamples,
 	}
 }

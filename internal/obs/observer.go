@@ -57,12 +57,15 @@ func (o *MachineObserver) OnFinish(m *engine.Machine) error {
 		{"sim_degradations_total", res.Degradations},
 		{"sim_brownouts_total", res.Brownouts},
 		{"sim_sched_invocations_total", res.SchedInvocations},
+		{"sim_transient_faults_total", res.TransientFaults},
+		{"sim_meas_samples_total", res.MeasSamples},
 	} {
 		o.reg.Counter(c.name).Add(int64(c.v))
 	}
 	o.reg.Gauge("sim_harvested_joules").Set(res.HarvestedJoules)
 	o.reg.Gauge("sim_consumed_joules").Set(res.ConsumedJoules)
 	o.reg.Gauge("sim_overhead_joules").Set(res.OverheadJoules)
+	o.reg.Gauge("sim_meas_joules").Set(res.MeasJoules)
 	o.reg.Gauge("sim_seconds").Set(res.SimSeconds)
 	return nil
 }

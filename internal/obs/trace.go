@@ -230,8 +230,9 @@ func (e *Exporter) line(s string) {
 			return
 		}
 		e.powerOff = false
-	case "capture", "capture-miss", "ckpt", "rollback", "pid":
-		// Instant events, no lifecycle state.
+	case "capture", "capture-miss", "ckpt", "rollback", "pid", "fault":
+		// Instant events, no lifecycle state. (A transient task fault leaves
+		// its job span open — the task re-executes inside the same job.)
 	default:
 		e.fail("unknown event kind %q in %q", kind, s)
 		return
@@ -342,7 +343,7 @@ func (e *Exporter) render(ts int64, kind string, fields [][2]string) {
 				counter("buffer", "occupancy", occ)
 			}
 		}
-	case "classify", "tx", "ckpt", "rollback":
+	case "classify", "tx", "ckpt", "rollback", "fault":
 		instant(tidCompute)
 	case "pid":
 		instant(tidController)

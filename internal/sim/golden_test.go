@@ -47,6 +47,12 @@ var goldenScenarios = []struct {
 	{"catnap-solar", simgen.Params{Seed: 104, System: 3, PowerKind: 2, PowerMW: 30, NumEvents: 5, EventDurS: 10, CapMF: 33, BufCap: 10, CapturePerMS: 1000}},
 	{"noadapt-periodic-ckpt", simgen.Params{Seed: 105, System: 1, Checkpoint: 2, PowerMW: 10, NumEvents: 4, EventDurS: 8, CapMF: 15, BufCap: 8, CapturePerMS: 1000}},
 	{"pzo-msp430-jitter", simgen.Params{Seed: 106, Profile: 1, System: 5, JitterPct: 20, PowerMW: 25, NumEvents: 5, EventDurS: 10, CapMF: 33, BufCap: 10, CapturePerMS: 1000}},
+	// Hardware-realism scenarios (internal/faults): transient task faults
+	// with a k=2 reserve plus a 10 s harvester dropout and the default
+	// per-sample measurement cost; and a hot junction with a ±5 °C diurnal
+	// swing around 45 °C so quantisation skew moves the event stream.
+	{"faulty", simgen.Params{Seed: 107, System: 0, PowerMW: 40, NumEvents: 5, EventDurS: 10, CapMF: 33, BufCap: 10, CapturePerMS: 1000, FaultPct: 40, FaultLimit: 2, DropoutS: 10, MeasNJ: 250}},
+	{"hot", simgen.Params{Seed: 108, System: 0, PowerMW: 25, NumEvents: 5, EventDurS: 10, CapMF: 33, BufCap: 10, CapturePerMS: 1000, TempC: 45, TempSwing: 5}},
 }
 
 // goldenEntry is one committed fingerprint.

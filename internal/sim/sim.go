@@ -25,6 +25,7 @@ import (
 	"quetzal/internal/device"
 	"quetzal/internal/energy"
 	"quetzal/internal/engine"
+	"quetzal/internal/faults"
 	"quetzal/internal/invariant"
 	"quetzal/internal/metrics"
 	"quetzal/internal/model"
@@ -109,6 +110,15 @@ type Config struct {
 	Metrics *obs.Registry
 
 	Environment string // label copied into the results
+
+	// Faults declares the hardware-realism scenario (internal/faults):
+	// transient task faults, harvester dropout windows, ADC stuck bits,
+	// per-sample measurement cost and junction temperature. Zero = ideal
+	// hardware, guaranteed cost-free.
+	Faults faults.Spec
+	// FaultSeed seeds the fault draws; 0 derives from Seed. Fleets pass a
+	// shard-independent split seed (fleet.StreamFaults).
+	FaultSeed int64
 }
 
 // CheckMode selects whether the invariant checker runs.
@@ -192,6 +202,8 @@ func New(cfg Config) (*Simulator, error) {
 		TexeJitterOverride: cfg.TexeJitterOverride,
 		EventLog:           cfg.EventLog,
 		Environment:        cfg.Environment,
+		Faults:             cfg.Faults,
+		FaultSeed:          cfg.FaultSeed,
 	}
 	var exporter *obs.Exporter
 	if cfg.Trace != nil || cfg.TraceJSONL != nil {
@@ -218,7 +230,15 @@ func New(cfg Config) (*Simulator, error) {
 		m.Observe(obs.NewMachineObserver(cfg.Metrics))
 	}
 	if cfg.Checks != ChecksOff {
-		s.inv = invariant.New(invariant.Config{})
+		icfg := invariant.Config{}
+		if cfg.Faults.Enabled() {
+			// Materialise the realism spec's checkable consequences: the
+			// exact per-sample measurement-energy identity and the dropout
+			// windows over the (normalised) run duration.
+			icfg.MeasPerSampleJ, _ = cfg.Faults.MeasCost()
+			icfg.DropoutWindows = cfg.Faults.Windows(m.Duration())
+		}
+		s.inv = invariant.New(icfg)
 		m.Observe(engine.InvariantObserver{C: s.inv})
 	}
 	return s, nil

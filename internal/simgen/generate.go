@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"quetzal/internal/circuit"
 	"quetzal/internal/device"
 	"quetzal/internal/energy"
+	"quetzal/internal/faults"
 	"quetzal/internal/metrics"
 	"quetzal/internal/policy"
 	"quetzal/internal/sim"
@@ -41,6 +43,15 @@ const (
 	minCaptureMS             = 500
 	maxCaptureMS             = 2000
 	maxJitterPct             = 40
+
+	// Hardware-realism knobs (internal/faults). Half the random corpus
+	// leaves each at zero so the ideal-hardware space keeps its coverage.
+	maxFaultPct   = 40   // transient-fault probability ceiling, percent
+	maxFaultLimit = 4    // injected-fault cap (0 = unlimited)
+	maxDropoutS   = 20   // harvester dropout duration, seconds
+	dropoutStartS = 5    // all generated dropout windows open at t=5 s
+	maxMeasNJ     = 2000 // per-sample measurement energy, nanojoules
+	tempPeriodS   = 60   // diurnal period compressed to simulation scale
 )
 
 // Params is one point in the configuration space.
@@ -57,13 +68,23 @@ type Params struct {
 	CapMF        int // store capacitance, millifarads
 	BufCap       int // buffer capacity, inputs
 	CapturePerMS int // capture period, milliseconds
+
+	// Hardware-realism knobs; all zero = ideal hardware (the pre-fault
+	// space, bit-identical to configs generated before these existed).
+	FaultPct   int // transient task-fault probability, percent
+	FaultLimit int // injected-fault cap (0 = unlimited; needs FaultPct > 0)
+	DropoutS   int // harvester dropout window duration, seconds (0 = none)
+	TempC      int // junction temperature °C, 0 = default 25
+	TempSwing  int // diurnal swing ±°C (needs TempC > 0, stays in band)
+	MeasNJ     int // per-sample measurement energy, nanojoules
+	StuckBit   int // 0 = none, 1–8 = ADC result bit (n−1) stuck high
 }
 
 // Random samples uniformly over the whole space.
 func Random(seed int64) Params {
 	rng := rand.New(rand.NewSource(seed))
 	span := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
-	return Params{
+	p := Params{
 		Seed:         seed,
 		Profile:      rng.Intn(numProfiles),
 		System:       rng.Intn(numSystems),
@@ -77,6 +98,43 @@ func Random(seed int64) Params {
 		BufCap:       span(minBufCap, maxBufCap),
 		CapturePerMS: span(minCaptureMS, maxCaptureMS),
 	}
+	// Realism draws come AFTER every pre-existing knob, so seeds generated
+	// before these knobs existed keep their exact configurations. Each
+	// knob is zero half the time: the corpus keeps full coverage of the
+	// ideal-hardware space while opening the faulty one.
+	p.FaultPct = halfZero(rng, 1, maxFaultPct)
+	p.FaultLimit = rng.Intn(maxFaultLimit + 1)
+	p.DropoutS = halfZero(rng, 1, maxDropoutS)
+	p.TempC = halfZero(rng, faults.MinTempC, faults.MaxTempC)
+	if p.TempC > 0 {
+		if ms := maxSwingFor(p.TempC); ms > 0 {
+			p.TempSwing = halfZero(rng, 1, ms)
+		}
+	}
+	p.MeasNJ = halfZero(rng, 50, maxMeasNJ)
+	p.StuckBit = halfZero(rng, 1, 8)
+	return p
+}
+
+// halfZero returns 0 with probability ½, else a uniform draw from [lo, hi].
+// Both rng draws are always consumed so later knobs never shift.
+func halfZero(rng *rand.Rand, lo, hi int) int {
+	zero := rng.Intn(2) == 0
+	v := lo + rng.Intn(hi-lo+1)
+	if zero {
+		return 0
+	}
+	return v
+}
+
+// maxSwingFor bounds a diurnal swing so the excursion stays inside the
+// paper's 25–50 °C characterisation band.
+func maxSwingFor(tempC int) int {
+	ms := tempC - faults.MinTempC
+	if h := faults.MaxTempC - tempC; h < ms {
+		ms = h
+	}
+	return ms
 }
 
 // Normalize folds every knob into its valid range (for fuzzed inputs).
@@ -100,7 +158,33 @@ func (p Params) Normalize() Params {
 	p.CapMF = clamp(p.CapMF, minCapMF, maxCapMF)
 	p.BufCap = clamp(p.BufCap, minBufCap, maxBufCap)
 	p.CapturePerMS = clamp(p.CapturePerMS, minCaptureMS, maxCaptureMS)
+	// Realism knobs: 0 is always valid (knob off), anything else folds into
+	// the knob's on-range. TempSwing additionally depends on TempC so the
+	// diurnal excursion stays inside the 25–50 °C band.
+	p.FaultPct = zeroOr(p.FaultPct, 1, maxFaultPct)
+	p.FaultLimit = mod(p.FaultLimit, maxFaultLimit+1)
+	p.DropoutS = zeroOr(p.DropoutS, 1, maxDropoutS)
+	p.TempC = zeroOr(p.TempC, faults.MinTempC, faults.MaxTempC)
+	if ms := maxSwingFor(p.TempC); p.TempC == 0 || ms == 0 {
+		p.TempSwing = 0
+	} else {
+		p.TempSwing = zeroOr(p.TempSwing, 1, ms)
+	}
+	p.MeasNJ = zeroOr(p.MeasNJ, 1, maxMeasNJ)
+	p.StuckBit = zeroOr(p.StuckBit, 1, 8)
 	return p
+}
+
+// zeroOr keeps 0 (knob off) and folds any other value into [lo, hi].
+func zeroOr(v, lo, hi int) int {
+	if v == 0 {
+		return 0
+	}
+	m := (v - lo) % (hi - lo + 1)
+	if m < 0 {
+		m += hi - lo + 1
+	}
+	return lo + m
 }
 
 // profile returns the device profile for the index.
@@ -139,12 +223,47 @@ const numSystems = len(systemNames)
 
 var powerNames = [...]string{"constant", "square", "solar"}
 
-// String renders the parameters as a reproducible one-line recipe.
+// String renders the parameters as a reproducible one-line recipe. Realism
+// knobs are appended only when set, so ideal-hardware recipes keep their
+// historical form.
 func (p Params) String() string {
-	return fmt.Sprintf("seed=%d %s/%s %s@%dmW events=%d×≤%ds ckpt=%s jitter=%d%% cap=%dmF buf=%d capture=%dms",
+	s := fmt.Sprintf("seed=%d %s/%s %s@%dmW events=%d×≤%ds ckpt=%s jitter=%d%% cap=%dmF buf=%d capture=%dms",
 		p.Seed, profileNames[p.Profile], p.SystemName(), powerNames[p.PowerKind], p.PowerMW,
 		p.NumEvents, p.EventDurS, sim.CheckpointPolicy(p.Checkpoint), p.JitterPct,
 		p.CapMF, p.BufCap, p.CapturePerMS)
+	if fs := p.FaultSpec(); fs.Enabled() {
+		s += " realism=" + fs.String()
+	}
+	return s
+}
+
+// FaultSpec maps the realism knobs onto a validated faults.Spec. All-zero
+// knobs yield the zero Spec (ideal hardware).
+func (p Params) FaultSpec() faults.Spec {
+	var fs faults.Spec
+	if p.FaultPct > 0 {
+		fs.TaskFaultPct = p.FaultPct
+		fs.TaskFaultLimit = p.FaultLimit
+	}
+	if p.DropoutS > 0 {
+		fs.DropoutStartS = dropoutStartS
+		fs.DropoutDurS = p.DropoutS
+	}
+	if p.TempC > 0 {
+		fs.TempC = p.TempC
+		if p.TempSwing > 0 {
+			fs.TempSwingC = p.TempSwing
+			fs.TempPeriodS = tempPeriodS
+		}
+	}
+	if p.MeasNJ > 0 {
+		fs.MeasEnergyNJ = p.MeasNJ
+		fs.MeasLatencyUS = circuit.DefaultMeasLatencyUS
+	}
+	if p.StuckBit > 0 {
+		fs.StuckHigh = 1 << (p.StuckBit - 1)
+	}
+	return fs
 }
 
 // SystemName names the controller family.
@@ -204,6 +323,7 @@ func (p Params) Config(engine sim.EngineKind) (sim.Config, error) {
 		CheckpointInterval: 0.5,
 		TexeJitterOverride: float64(p.JitterPct) / 100,
 		Environment:        "simgen",
+		Faults:             p.FaultSpec(),
 	}, nil
 }
 
@@ -284,6 +404,30 @@ func (p Params) Shrink() []Params {
 	try(q)
 	q = p
 	q.CapturePerMS = 1000
+	try(q)
+	// Realism knobs toward ideal hardware (all zero). FaultPct additionally
+	// halves so a high-rate failure can shrink to the lowest still-failing
+	// rate; zeroing FaultPct implies zeroing its limit.
+	q = p
+	q.FaultPct, q.FaultLimit = 0, 0
+	try(q)
+	q = p
+	q.FaultPct = shrinkInt(p.FaultPct, 0)
+	try(q)
+	q = p
+	q.DropoutS = 0
+	try(q)
+	q = p
+	q.TempC, q.TempSwing = 0, 0
+	try(q)
+	q = p
+	q.TempSwing = 0
+	try(q)
+	q = p
+	q.MeasNJ = 0
+	try(q)
+	q = p
+	q.StuckBit = 0
 	try(q)
 	return out
 }

@@ -39,25 +39,32 @@ import "quetzal/internal/metrics"
 func Tolerance() metrics.Tolerance {
 	return metrics.Tolerance{
 		Fields: map[string]metrics.FieldTol{
-			// Trace-driven: tight everywhere.
+			// Trace-driven: tight everywhere. Harvester dropout windows relax
+			// the capture/arrival group a little — a brownout whose recharge
+			// straddles a window edge recovers at different times in the two
+			// engines, so a handful of captures land on different sides of it.
 			"Captures":            {Abs: 2},
-			"CaptureMisses":       {Rel: 0.05, Abs: 4},
-			"MissedInteresting":   {Abs: 4},
-			"Arrivals":            {Rel: 0.06, Abs: 4},
-			"InterestingArrivals": {Rel: 0.08, Abs: 4},
+			"CaptureMisses":       {Rel: 0.05, Abs: 16},
+			"MissedInteresting":   {Abs: 10},
+			"Arrivals":            {Rel: 0.06, Abs: 10},
+			"InterestingArrivals": {Rel: 0.08, Abs: 10},
 			// Unreachable bookkeeping: effectively exact.
 			"IBOReinsertInteresting": {Abs: 1},
 			"IBOReinsertOther":       {Abs: 1},
 			// Trajectory-sensitive: ceilings at ~2× the calibration extremes.
-			"IBODropsInteresting": {Abs: 35},
+			// The hardware-realism knobs (temperature skew, transient faults)
+			// widened the quality/verdict group: a few degrees of quantisation
+			// skew near a threshold flips the chosen option for a whole run
+			// segment, which is a regime change, not a bug (DESIGN.md §8).
+			"IBODropsInteresting": {Abs: 70},
 			"IBODropsOther":       {Abs: 50},
 			"FalseNegatives":      {Abs: 8},
 			"FalsePositives":      {Abs: 12},
-			"TruePositives":       {Abs: 30},
+			"TruePositives":       {Abs: 75},
 			"TrueNegatives":       {Abs: 45},
-			"HighQInteresting":    {Abs: 12},
+			"HighQInteresting":    {Abs: 15},
 			"HighQUninteresting":  {Abs: 6},
-			"LowQInteresting":     {Abs: 35},
+			"LowQInteresting":     {Abs: 90},
 			"LowQUninteresting":   {Abs: 10},
 			"OccupancyIntegral":   {Abs: 1200},
 			"SojournSum":          {Abs: 1500},
@@ -67,8 +74,8 @@ func Tolerance() metrics.Tolerance {
 			"AbortedInteresting":  {Abs: 12},
 			"OptionUsage":         {Abs: 70},
 			"JobsCompleted":       {Abs: 110},
-			"Degradations":        {Abs: 90},
-			"IBOPredictions":      {Abs: 100},
+			"Degradations":        {Abs: 160},
+			"IBOPredictions":      {Abs: 160},
 			"IBOsAverted":         {Abs: 100},
 			"Brownouts":           {Abs: 120},
 			"SchedInvocations":    {Abs: 110},
@@ -83,6 +90,14 @@ func Tolerance() metrics.Tolerance {
 			// Regulation waste only accrues while the store pins at capacity,
 			// so its divergence is bounded by the harvest ceiling.
 			"WastedJoules": {Abs: 6.5},
+			// Realism counters, ceilings at ~2× the calibration extremes.
+			// MeasSamples tracks controller invocations (×2 for replay-
+			// sensitive policies); MeasJoules/MeasSeconds scale it by the
+			// per-sample cost; TransientFaults by divergence in completions.
+			"TransientFaults": {Abs: 50},
+			"MeasSamples":     {Abs: 100},
+			"MeasJoules":      {Abs: 2e-4},
+			"MeasSeconds":     {Abs: 2e-3},
 		},
 	}
 }
@@ -135,6 +150,11 @@ func TypicalTolerance() metrics.Tolerance {
 			"HarvestedJoules":  {Rel: 0.20, Abs: 0.3},
 			"ConsumedJoules":   {Rel: 0.25, Abs: 0.3},
 			"WastedJoules":     {Rel: 0.30, Abs: 0.3},
+
+			"TransientFaults": {Rel: 0.30, Abs: 40},
+			"MeasSamples":     {Rel: 0.20, Abs: 120},
+			"MeasJoules":      {Rel: 0.25, Abs: 3e-4},
+			"MeasSeconds":     {Rel: 0.25, Abs: 3e-3},
 		},
 	}
 }
