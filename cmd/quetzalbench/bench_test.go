@@ -1,0 +1,145 @@
+package main
+
+// quetzalbench end to end: two in-process quetzald replicas share a store
+// directory, the open-loop generator drives them for a short burst, and
+// the report's tallies must balance — every paced request accounted for,
+// zero contract violations, and a fleet-wide hit rate consistent with the
+// configured key-reuse mix.
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"quetzal/internal/experiments"
+	"quetzal/internal/metrics"
+	"quetzal/internal/service"
+	"quetzal/internal/store"
+)
+
+// startReplica builds one service replica on the shared store directory.
+func startReplica(t *testing.T, dir string) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := service.New(service.Config{
+		Workers:  4,
+		MaxQueue: 256,
+		Store:    st,
+		Run: func(ctx context.Context, key experiments.RunKey) (metrics.Results, error) {
+			select { // a small, real service time so coalescing can happen
+			case <-time.After(2 * time.Millisecond):
+			case <-ctx.Done():
+				return metrics.Results{}, ctx.Err()
+			}
+			return metrics.Results{System: key.System, JobsCompleted: key.NumEvents}, nil
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestBenchAgainstTwoReplicas(t *testing.T) {
+	dir := t.TempDir()
+	a := startReplica(t, dir)
+	b := startReplica(t, dir)
+
+	cfg, err := parseFlags([]string{
+		"-targets", a.URL + "," + b.URL,
+		"-rate", "400",
+		"-duration", "2s",
+		"-keys", "8",
+		"-reuse", "0.75",
+		"-concurrency", "128",
+		"-timeout-ms", "5000",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Requests < 100 {
+		t.Fatalf("only %d requests in a 2s burst at 400/s", rep.Requests)
+	}
+	// Every sent request is accounted for exactly once.
+	if got := rep.OK + rep.Shed + rep.Unexpected + rep.TransportError; got != rep.Requests {
+		t.Fatalf("tallies do not balance: ok %d + shed %d + unexpected %d + transport %d != requests %d",
+			rep.OK, rep.Shed, rep.Unexpected, rep.TransportError, rep.Requests)
+	}
+	// The response contract: nothing outside 200/202/429, and every 429
+	// carried Retry-After.
+	if rep.Unexpected != 0 || rep.TransportError != 0 {
+		t.Fatalf("contract violations: %+v", rep.UnexpectedByStatus)
+	}
+	if rep.ShedNoRetry != 0 {
+		t.Fatalf("%d sheds without Retry-After", rep.ShedNoRetry)
+	}
+	// With 8 hot keys at 75%% reuse the fleet must serve most submissions
+	// without simulating; 0.5 leaves a wide margin under CI jitter.
+	if rep.HitRate <= 0.5 {
+		t.Fatalf("fleet hit rate %.3f <= 0.5 (store sharing not effective): %+v", rep.HitRate, rep)
+	}
+	if rep.Store.Hits == 0 {
+		t.Fatal("no cross-replica store hits at all")
+	}
+	if rep.Latency.P50Ms <= 0 || rep.Latency.P99Ms < rep.Latency.P50Ms {
+		t.Fatalf("latency summary inconsistent: %+v", rep.Latency)
+	}
+	// Both replicas took traffic (round-robin reached each).
+	for _, d := range rep.PerTarget {
+		if d.Requests == 0 {
+			t.Fatalf("target %s received no requests", d.URL)
+		}
+	}
+}
+
+func TestBenchFlagValidation(t *testing.T) {
+	for _, tc := range []struct{ name, args, wantErr string }{
+		{"no targets", "", "-targets is required"},
+		{"bad url", "-targets not-a-url", "absolute URL"},
+		{"zero rate", "-targets http://x -rate 0", "-rate"},
+		{"bad reuse", "-targets http://x -reuse 1.5", "-reuse"},
+		{"zero keys", "-targets http://x -keys 0", "-keys"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var args []string
+			if tc.args != "" {
+				args = strings.Fields(tc.args)
+			}
+			cfg, err := parseFlags(args, io.Discard)
+			if err == nil {
+				err = cfg.validate()
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBenchUnreachableTargetFailsFast(t *testing.T) {
+	cfg, err := parseFlags([]string{"-targets", "http://127.0.0.1:1", "-duration", "50ms"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := runBench(context.Background(), cfg); err == nil {
+		t.Fatal("runBench succeeded against a dead target")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("unreachable target was not detected before the load phase")
+	}
+}

@@ -1,0 +1,470 @@
+// Command quetzalbench is an open-loop load generator for quetzald
+// replicas: it submits runs at a fixed target rate — never slowing down
+// because the server is slow, which is what makes measured shed rates and
+// latencies honest — with a configurable key-reuse mix across a hot key
+// population, and writes a JSON report of throughput, latency quantiles,
+// shed/coalesced counts, and the cross-replica store hit rate scraped from
+// each target's /metrics.
+//
+// Usage:
+//
+//	quetzalbench -targets http://H1:P1,http://H2:P2 [-rate 200] [-duration 30s]
+//	             [-keys 32] [-reuse 0.6] [-concurrency 64] [-timeout-ms 10000]
+//	             [-seed 1] [-out report.json]
+//
+// The generator round-robins requests across the targets. A request either
+// reuses a key from the hot population (probability -reuse) or carries a
+// never-seen key, so a fleet of replicas sharing one -store directory
+// should convert most reused keys into store or memo hits; the report's
+// store.hit_rate is the scraped evidence. Responses other than 200, 202
+// and 429-with-Retry-After are contract violations and counted separately.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"quetzal/internal/obs"
+)
+
+// benchConfig is the parsed flag set; separated from main for tests.
+type benchConfig struct {
+	targets     []string
+	rate        float64
+	duration    time.Duration
+	keys        int
+	reuse       float64
+	concurrency int
+	timeoutMs   int
+	seed        int64
+	out         string
+}
+
+func parseFlags(args []string, stderr io.Writer) (benchConfig, error) {
+	var c benchConfig
+	var targets string
+	fs := flag.NewFlagSet("quetzalbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&targets, "targets", "", "comma-separated quetzald base URLs (required)")
+	fs.Float64Var(&c.rate, "rate", 200, "target request rate per second (open loop)")
+	fs.DurationVar(&c.duration, "duration", 30*time.Second, "load duration")
+	fs.IntVar(&c.keys, "keys", 32, "hot key population size")
+	fs.Float64Var(&c.reuse, "reuse", 0.6, "fraction of requests that reuse a hot key")
+	fs.IntVar(&c.concurrency, "concurrency", 64, "max in-flight requests (excess ticks are counted, not sent)")
+	fs.IntVar(&c.timeoutMs, "timeout-ms", 10_000, "per-request timeout_ms sent to the server")
+	fs.Int64Var(&c.seed, "seed", 1, "base seed for the generated key space")
+	fs.StringVar(&c.out, "out", "", "write the JSON report here (empty = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return benchConfig{}, err
+	}
+	if fs.NArg() > 0 {
+		return benchConfig{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	for _, t := range strings.Split(targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			c.targets = append(c.targets, strings.TrimRight(t, "/"))
+		}
+	}
+	return c, nil
+}
+
+func (c benchConfig) validate() error {
+	if len(c.targets) == 0 {
+		return errors.New("-targets is required (comma-separated base URLs)")
+	}
+	for _, t := range c.targets {
+		u, err := url.Parse(t)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("-targets: %q is not an absolute URL", t)
+		}
+	}
+	if c.rate <= 0 {
+		return fmt.Errorf("-rate must be positive, got %v", c.rate)
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", c.duration)
+	}
+	if c.keys <= 0 {
+		return fmt.Errorf("-keys must be positive, got %d", c.keys)
+	}
+	if c.reuse < 0 || c.reuse > 1 {
+		return fmt.Errorf("-reuse must be in [0, 1], got %v", c.reuse)
+	}
+	if c.concurrency <= 0 {
+		return fmt.Errorf("-concurrency must be positive, got %d", c.concurrency)
+	}
+	if c.timeoutMs <= 0 {
+		return fmt.Errorf("-timeout-ms must be positive, got %d", c.timeoutMs)
+	}
+	return nil
+}
+
+// latencySummary is the histogram condensed for the report.
+type latencySummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// storeSummary aggregates the store-counter deltas scraped across targets.
+type storeSummary struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Puts    int64 `json:"puts"`
+	Records int64 `json:"records"`
+	// HitRate is hits/(hits+misses) over the load window, fleet-wide: the
+	// fraction of executions some replica did not have to simulate.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// targetReport is the per-replica slice of the tallies.
+type targetReport struct {
+	URL      string `json:"url"`
+	Requests int64  `json:"requests"`
+	OK       int64  `json:"ok"`
+	Shed     int64  `json:"shed"`
+	// Deltas scraped from the replica's /metrics over the load window.
+	Executed    int64 `json:"executed_delta"`
+	CacheHits   int64 `json:"cache_hits_delta"`
+	StoreHits   int64 `json:"store_hits_delta"`
+	StoreMisses int64 `json:"store_misses_delta"`
+}
+
+// report is the quetzalbench output schema (BENCH_quetzald.json).
+type report struct {
+	Description string         `json:"description"`
+	Environment map[string]any `json:"environment"`
+
+	Targets     []string `json:"targets"`
+	RateRPS     float64  `json:"rate_rps"`
+	DurationSec float64  `json:"duration_sec"`
+	Keys        int      `json:"keys"`
+	Reuse       float64  `json:"reuse"`
+	Concurrency int      `json:"concurrency"`
+
+	Requests       int64 `json:"requests"`
+	OK             int64 `json:"ok"`
+	Shed           int64 `json:"shed"`
+	ShedNoRetry    int64 `json:"shed_without_retry_after"`
+	Unexpected     int64 `json:"unexpected_responses"`
+	TransportError int64 `json:"transport_errors"`
+	ClientOverflow int64 `json:"client_overflow"`
+	Coalesced      int64 `json:"coalesced"`
+
+	UnexpectedByStatus map[string]int64 `json:"unexpected_by_status,omitempty"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Simulations is the fleet-wide count of real simulator executions over
+	// the window (pool executions minus store hits, summed over targets).
+	Simulations int64 `json:"simulations"`
+	// HitRate is the fleet-wide fraction of run submissions served without
+	// simulating: memo hits on a replica plus store hits across replicas,
+	// over all submissions. This is the scale-out headline number.
+	HitRate   float64        `json:"hit_rate"`
+	Latency   latencySummary `json:"latency"`
+	Store     storeSummary   `json:"store"`
+	PerTarget []targetReport `json:"per_target"`
+}
+
+// scrape pulls the counters quetzalbench reconciles from one /metrics body.
+type scrape struct {
+	executed, cacheHits, storeHits, storeMisses, storePuts, storeRecords int64
+}
+
+var metricLine = regexp.MustCompile(`(?m)^(\w+) (-?\d+(?:\.\d+)?)(?:e[+-]\d+)?$`)
+
+func scrapeTarget(client *http.Client, base string) (scrape, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return scrape{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return scrape{}, err
+	}
+	var sc scrape
+	for _, m := range metricLine.FindAllStringSubmatch(string(body), -1) {
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		switch m[1] {
+		case "quetzald_runs_executed_total":
+			sc.executed = int64(v)
+		case "quetzald_run_cache_hits_total":
+			sc.cacheHits = int64(v)
+		case "quetzald_store_hits_total":
+			sc.storeHits = int64(v)
+		case "quetzald_store_misses_total":
+			sc.storeMisses = int64(v)
+		case "quetzald_store_puts_total":
+			sc.storePuts = int64(v)
+		case "quetzald_store_records":
+			sc.storeRecords = int64(v)
+		}
+	}
+	return sc, nil
+}
+
+// runBench drives the load and assembles the report. It returns an error
+// only for setup problems (unreachable targets); contract violations under
+// load are counted in the report instead, so the caller can decide what is
+// fatal.
+func runBench(ctx context.Context, c benchConfig) (report, error) {
+	client := &http.Client{Timeout: time.Duration(c.timeoutMs)*time.Millisecond + 5*time.Second}
+	before := make([]scrape, len(c.targets))
+	for i, t := range c.targets {
+		sc, err := scrapeTarget(client, t)
+		if err != nil {
+			return report{}, fmt.Errorf("target %s unreachable: %w", t, err)
+		}
+		before[i] = sc
+	}
+
+	rep := report{
+		Targets:     c.targets,
+		RateRPS:     c.rate,
+		DurationSec: c.duration.Seconds(),
+		Keys:        c.keys,
+		Reuse:       c.reuse,
+		Concurrency: c.concurrency,
+		PerTarget:   make([]targetReport, len(c.targets)),
+	}
+	for i, t := range c.targets {
+		rep.PerTarget[i].URL = t
+	}
+
+	var (
+		mu         sync.Mutex
+		unexpected = map[string]int64{}
+		hist       = obs.NewHistogram(obs.ExpBuckets(0.0005, 1.5, 32))
+		perTarget  = make([]struct{ requests, ok, shed atomic.Int64 }, len(c.targets))
+		requests   atomic.Int64
+		okCount    atomic.Int64
+		shed       atomic.Int64
+		shedNoRA   atomic.Int64
+		transport  atomic.Int64
+		coalesced  atomic.Int64
+		overflow   atomic.Int64
+	)
+
+	// The deterministic key mixer: request n either reuses hot key
+	// (mix(n) mod keys) or carries the never-seen seed base+1e6+n. A cheap
+	// splitmix-style hash keeps the reuse pattern uncorrelated with the
+	// round-robin target assignment without needing math/rand in the hot
+	// loop.
+	mix := func(n int64) uint64 {
+		z := uint64(n) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+
+	sem := make(chan struct{}, c.concurrency)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / c.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(c.duration)
+	defer deadline.Stop()
+
+	fire := func(n int64) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		ti := int(n) % len(c.targets)
+		h := mix(n)
+		var seed int64
+		if float64(h%1_000_000)/1_000_000 < c.reuse {
+			seed = c.seed + int64(h/7%uint64(c.keys))
+		} else {
+			seed = c.seed + 1_000_000 + n
+		}
+		body := fmt.Sprintf(`{"system":"qz","env":"crowded","seed":%d,"timeout_ms":%d}`, seed, c.timeoutMs)
+		requests.Add(1)
+		perTarget[ti].requests.Add(1)
+		start := time.Now()
+		resp, err := client.Post(c.targets[ti]+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			transport.Add(1)
+			return
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		hist.Observe(time.Since(start).Seconds())
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			okCount.Add(1)
+			perTarget[ti].ok.Add(1)
+			var rr struct {
+				Coalesced bool `json:"coalesced"`
+			}
+			if json.Unmarshal(raw, &rr) == nil && rr.Coalesced {
+				coalesced.Add(1)
+			}
+		case http.StatusTooManyRequests:
+			shed.Add(1)
+			perTarget[ti].shed.Add(1)
+			if resp.Header.Get("Retry-After") == "" {
+				shedNoRA.Add(1)
+			}
+		default:
+			mu.Lock()
+			unexpected[strconv.Itoa(resp.StatusCode)]++
+			mu.Unlock()
+		}
+	}
+
+	start := time.Now()
+	var n int64
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			// Open loop: the tick fires on schedule no matter how slow the
+			// servers are. If every slot is busy the tick is recorded as
+			// client overflow rather than silently stretching the pace.
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go fire(n)
+			default:
+				overflow.Add(1)
+			}
+			n++
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Requests = requests.Load()
+	rep.OK = okCount.Load()
+	rep.Shed = shed.Load()
+	rep.ShedNoRetry = shedNoRA.Load()
+	rep.TransportError = transport.Load()
+	rep.ClientOverflow = overflow.Load()
+	rep.Coalesced = coalesced.Load()
+	rep.UnexpectedByStatus = unexpected
+	for _, v := range unexpected {
+		rep.Unexpected += v
+	}
+	rep.ThroughputRPS = float64(rep.OK) / elapsed.Seconds()
+	if hist.Count() > 0 {
+		rep.Latency = latencySummary{
+			P50Ms: hist.Quantile(0.50) * 1000,
+			P90Ms: hist.Quantile(0.90) * 1000,
+			P99Ms: hist.Quantile(0.99) * 1000,
+			MaxMs: hist.Max() * 1000,
+		}
+	}
+
+	var recordsMax int64
+	for i, t := range c.targets {
+		after, err := scrapeTarget(client, t)
+		if err != nil {
+			return rep, fmt.Errorf("final scrape of %s: %w", t, err)
+		}
+		d := &rep.PerTarget[i]
+		d.Requests = perTarget[i].requests.Load()
+		d.OK = perTarget[i].ok.Load()
+		d.Shed = perTarget[i].shed.Load()
+		d.Executed = after.executed - before[i].executed
+		d.CacheHits = after.cacheHits - before[i].cacheHits
+		d.StoreHits = after.storeHits - before[i].storeHits
+		d.StoreMisses = after.storeMisses - before[i].storeMisses
+		rep.Store.Hits += d.StoreHits
+		rep.Store.Misses += d.StoreMisses
+		rep.Store.Puts += after.storePuts - before[i].storePuts
+		if after.storeRecords > recordsMax {
+			recordsMax = after.storeRecords
+		}
+	}
+	rep.Store.Records = recordsMax
+	if total := rep.Store.Hits + rep.Store.Misses; total > 0 {
+		rep.Store.HitRate = float64(rep.Store.Hits) / float64(total)
+	}
+	var submissions int64
+	for _, d := range rep.PerTarget {
+		submissions += d.Executed + d.CacheHits
+		rep.Simulations += d.Executed - d.StoreHits
+	}
+	if submissions > 0 {
+		rep.HitRate = 1 - float64(rep.Simulations)/float64(submissions)
+	}
+
+	rep.Description = "Open-loop load against quetzald replicas sharing one durable result store. " +
+		"store.hit_rate is the fleet-wide fraction of pool executions served from the shared store " +
+		"instead of simulating; coalesced counts responses that joined an in-flight or memoized run " +
+		"on one replica. Every response outside {200, 202, 429-with-Retry-After} is a contract " +
+		"violation counted in unexpected_responses/shed_without_retry_after."
+	rep.Environment = map[string]any{
+		"go":     runtime.Version(),
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"cpus":   runtime.NumCPU(),
+	}
+	return rep, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	rep, err := runBench(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if cfg.out == "" {
+		os.Stdout.Write(out) //nolint:errcheck
+		return
+	}
+	if err := os.WriteFile(cfg.out, out, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "quetzalbench: %d requests, %.1f ok/s, store hit rate %.2f -> %s\n",
+		rep.Requests, rep.ThroughputRPS, rep.Store.HitRate, cfg.out)
+}

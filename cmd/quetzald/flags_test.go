@@ -97,11 +97,13 @@ func TestBuildServerAppliesConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildServer(c, func(string, ...any) {}); err != nil {
+	if _, closer, err := buildServer(c, func(string, ...any) {}); err != nil {
 		t.Fatal(err)
+	} else {
+		closer()
 	}
 	c.mcu = "z80"
-	if _, err := buildServer(c, func(string, ...any) {}); err == nil {
+	if _, _, err := buildServer(c, func(string, ...any) {}); err == nil {
 		t.Fatal("buildServer accepted an unknown mcu")
 	}
 }

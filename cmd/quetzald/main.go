@@ -10,16 +10,27 @@
 //	quetzald [-listen HOST:PORT] [-workers N] [-run-timeout DUR]
 //	         [-fleet-timeout DUR] [-max-queue N] [-events N] [-seed N]
 //	         [-mcu apollo4|msp430|stm32g0] [-engine fixed|event]
+//	         [-store DIR] [-claim-wait DUR]
 //	         [-drain-timeout DUR] [-metrics FILE.txt] [-pprof HOST:PORT]
 //
 // Endpoints:
 //
-//	POST /v1/run       execute one run        {"system":"qz","env":"crowded",...}
-//	POST /v1/sweep     execute a batch        {"runs":[{...},{...}]}
-//	POST /v1/fleet     simulate a population  {"devices":100000,"system":"qz","env":"less-crowded"}
-//	GET  /v1/runs/{id} look up a run record
-//	GET  /healthz      liveness (503 while draining)
-//	GET  /metrics      counters, gauges and histograms (text format)
+//	POST /v1/run          execute one run        {"system":"qz","env":"crowded",...}
+//	POST /v1/batch        submit many runs       {"runs":[{...},{...}]} → 202 + ids
+//	POST /v1/sweep        execute a batch        {"runs":[{...},{...}]}
+//	POST /v1/sweep/stream stream sweep progress  (chunked JSONL, heartbeats)
+//	POST /v1/fleet        simulate a population  {"devices":100000,"system":"qz","env":"less-crowded"}
+//	POST /v1/fleet/stream stream fleet progress  (chunked JSONL, heartbeats)
+//	GET  /v1/runs/{id}    look up a run record
+//	GET  /healthz         liveness (503 while draining)
+//	GET  /metrics         counters, gauges and histograms (text format)
+//
+// With -store DIR, completed results are published to a durable
+// content-addressed store in DIR and consulted before executing. Several
+// replicas may point at the same directory with no other coordination:
+// they share results, dedupe concurrent executions through O_EXCL claim
+// files, and a restarted replica serves previously computed run ids
+// straight from disk.
 //
 // On SIGTERM or SIGINT the server drains: health flips to 503, new API work
 // is refused, in-flight runs finish (up to -drain-timeout), and the final
@@ -48,6 +59,7 @@ import (
 	"quetzal/internal/experiments"
 	"quetzal/internal/obs"
 	"quetzal/internal/service"
+	"quetzal/internal/store"
 )
 
 // appConfig is the parsed flag set; separated from main for table tests.
@@ -61,6 +73,8 @@ type appConfig struct {
 	seed         int64
 	mcu          string
 	engine       string
+	storeDir     string
+	claimWait    time.Duration
 	drainTimeout time.Duration
 	cli          obs.CLI
 }
@@ -79,6 +93,8 @@ func parseFlags(args []string, stderr io.Writer) (appConfig, error) {
 	fs.Int64Var(&c.seed, "seed", 42, "default trace and classifier seed")
 	fs.StringVar(&c.mcu, "mcu", "apollo4", "device profile: apollo4, msp430 or stm32g0")
 	fs.StringVar(&c.engine, "engine", "fixed", "default engine: fixed or event")
+	fs.StringVar(&c.storeDir, "store", "", "durable shared result store directory (empty = in-memory memo only)")
+	fs.DurationVar(&c.claimWait, "claim-wait", 5*time.Second, "how long to wait out another replica's execution claim")
 	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight runs")
 	fs.StringVar(&c.cli.Metrics, "metrics", "", "flush a metrics text dump to this file on shutdown")
 	fs.StringVar(&c.cli.Pprof, "pprof", "", "serve net/http/pprof on this host:port")
@@ -111,6 +127,9 @@ func (c appConfig) validate() error {
 	if c.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", c.drainTimeout)
 	}
+	if c.claimWait <= 0 {
+		return fmt.Errorf("-claim-wait must be positive, got %v", c.claimWait)
+	}
 	if c.events < 1 || c.events > experiments.MaxSpecEvents {
 		return fmt.Errorf("-events must be in [1, %d], got %d", experiments.MaxSpecEvents, c.events)
 	}
@@ -138,28 +157,43 @@ func resolveMCU(name string) (device.Profile, error) {
 }
 
 // buildServer assembles the service around the configured default setup.
-func buildServer(c appConfig, logf func(string, ...any)) (*service.Server, error) {
+// The returned closer releases the durable store, if one was opened; it is
+// safe to call with reads still possible.
+func buildServer(c appConfig, logf func(string, ...any)) (*service.Server, func(), error) {
 	setup := experiments.DefaultSetup()
 	setup.NumEvents = c.events
 	setup.Seed = c.seed
 	profile, err := resolveMCU(c.mcu)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	setup.Profile = profile
 	engine, err := experiments.ParseEngineKind(c.engine)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	setup.Engine = engine
+	closer := func() {}
+	var st *store.Store
+	if c.storeDir != "" {
+		st, err = store.Open(c.storeDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-store: %w", err)
+		}
+		stats := st.Stats()
+		logf("quetzald: store %s open (%d records in %d segments)", c.storeDir, stats.Records, stats.Segments)
+		closer = func() { st.Close() } //nolint:errcheck
+	}
 	return service.New(service.Config{
-		Setup:        setup,
-		Workers:      c.workers,
-		RunTimeout:   c.runTimeout,
-		FleetTimeout: c.fleetTimeout,
-		MaxQueue:     c.maxQueue,
-		Logf:         logf,
-	}), nil
+		Setup:          setup,
+		Workers:        c.workers,
+		RunTimeout:     c.runTimeout,
+		FleetTimeout:   c.fleetTimeout,
+		MaxQueue:       c.maxQueue,
+		Store:          st,
+		StoreClaimWait: c.claimWait,
+		Logf:           logf,
+	}), closer, nil
 }
 
 // run owns the server lifecycle: listen, serve until ctx is cancelled (the
@@ -168,10 +202,11 @@ func run(ctx context.Context, c appConfig, stderr io.Writer) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(stderr, format+"\n", args...)
 	}
-	s, err := buildServer(c, logf)
+	s, closeStore, err := buildServer(c, logf)
 	if err != nil {
 		return err
 	}
+	defer closeStore()
 
 	if addr, stop, err := c.cli.StartPprof(); err != nil {
 		return err

@@ -120,6 +120,119 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestWarmRestartServesStoredRuns is the process-level recovery story: a
+// quetzald with -store computes a run, terminates cleanly, and a brand-new
+// process on the same store directory serves the run id from disk and
+// answers a repeated POST from the store instead of simulating again.
+func TestWarmRestartServesStoredRuns(t *testing.T) {
+	storeDir := t.TempDir()
+	const runBody = `{"system":"qz","env":"crowded"}`
+
+	launch := func() (string, context.CancelFunc, chan error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		cfg, err := parseFlags([]string{
+			"-listen", addr,
+			"-engine", "event",
+			"-events", "40",
+			"-store", storeDir,
+			"-drain-timeout", "10s",
+		}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.validate(); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		runErr := make(chan error, 1)
+		go func() { runErr <- run(ctx, cfg, io.Discard) }()
+		waitForServer(t, "http://"+addr)
+		return "http://" + addr, cancel, runErr
+	}
+	stop := func(cancel context.CancelFunc, runErr chan error) {
+		cancel()
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("run returned %v, want clean drain", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("run did not return after cancellation")
+		}
+	}
+
+	// First life: compute and publish.
+	base, cancel, runErr := launch()
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(runBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/run = %d: %s", resp.StatusCode, body)
+	}
+	var first struct {
+		ID      string          `json:"id"`
+		Results json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &first); err != nil || first.ID == "" {
+		t.Fatalf("bad run response: %v / %s", err, body)
+	}
+	stop(cancel, runErr)
+
+	// Second life: the id resolves from disk before any simulation ran.
+	base, cancel, runErr = launch()
+	defer stop(cancel, runErr)
+	resp, err = http.Get(base + "/v1/runs/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted GET /v1/runs/%s = %d: %s", first.ID, resp.StatusCode, body)
+	}
+	var got struct {
+		Stored  bool            `json:"stored"`
+		Results json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil || !got.Stored {
+		t.Fatalf("restart lookup not served from store: %v / %s", err, body)
+	}
+	if string(got.Results) != string(first.Results) {
+		t.Fatalf("stored results diverged:\n%s\n%s", got.Results, first.Results)
+	}
+
+	// A repeated POST is a store hit, not a second simulation.
+	resp, err = http.Post(base+"/v1/run", "application/json", strings.NewReader(runBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"quetzald_store_hits_total 2", // the GET fallback + the repeated POST
+		"quetzald_store_misses_total 0",
+		"quetzald_store_records 1",
+	} {
+		if !strings.Contains(string(met), want) {
+			t.Errorf("restarted /metrics missing %q:\n%s", want, met)
+		}
+	}
+}
+
 func TestRunRefusesBadListenAddress(t *testing.T) {
 	// Occupy a port so run()'s own bind must fail.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -1,0 +1,148 @@
+package service
+
+// POST /v1/batch: submit many runs in one request, get one admission
+// decision and per-key status back immediately. Unlike /v1/sweep (which
+// holds the connection until every run finishes), a batch is asynchronous:
+// the response is 202 with one id per key, executions proceed in the
+// background under the server's base context, and callers poll
+// GET /v1/runs/{id} (or just resubmit — the single-flight pool and the
+// shared store make duplicates free). This is the shape quetzalbench
+// drives: an open-loop generator cannot afford a connection per in-flight
+// run.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"quetzal/internal/experiments"
+)
+
+// batchRequest is the body of POST /v1/batch.
+type batchRequest struct {
+	Runs []experiments.KeySpec `json:"runs"`
+	// TimeoutMs shortens the per-run background budget; never extends it.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// batchEntry is the immediate status of one submitted key.
+type batchEntry struct {
+	ID  string `json:"id"`
+	Key string `json:"key"`
+	// Status is the record state at submission time: "accepted" for a key
+	// this request started, otherwise the live record state (running, done,
+	// failed) the key already had.
+	Status string `json:"status"`
+	// Coalesced marks keys that cost this batch nothing: already memoized,
+	// in flight, or a duplicate of an earlier key in the same batch.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// batchResponse is the body of a 202 from POST /v1/batch.
+type batchResponse struct {
+	Count     int          `json:"count"`
+	Accepted  int          `json:"accepted"`
+	Coalesced int          `json:"coalesced"`
+	Entries   []batchEntry `json:"entries"`
+}
+
+// StatusAccepted is the batchEntry state for a key this request admitted.
+const StatusAccepted = "accepted"
+
+// handleBatch is POST /v1/batch: validate every spec, admit the distinct
+// unknown keys as one unit, answer 202, execute in the background.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		decodeBodyError(w, err)
+		return
+	}
+	if len(req.Runs) == 0 {
+		writeError(w, http.StatusBadRequest, "bad request: runs is empty", 0)
+		return
+	}
+	if len(req.Runs) > s.cfg.MaxBatchKeys {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad request: %d runs exceeds the per-batch limit %d", len(req.Runs), s.cfg.MaxBatchKeys), 0)
+		return
+	}
+	keys := make([]experiments.RunKey, len(req.Runs))
+	for i, sp := range req.Runs {
+		k, err := sp.RunKey()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: runs[%d]: %v", i, err), 0)
+			return
+		}
+		keys[i] = k
+	}
+	timeout := s.timeoutFor(req.TimeoutMs)
+
+	// One admission decision for the whole batch, charging only the distinct
+	// keys no one is already computing — same accounting as /v1/sweep.
+	seen := make(map[experiments.RunKey]bool, len(keys))
+	var fresh []experiments.RunKey
+	for _, k := range keys {
+		if !seen[k] && !s.pool.Known(k) {
+			fresh = append(fresh, k)
+		}
+		seen[k] = true
+	}
+	if len(fresh) > 0 {
+		ok, retry, predicted := s.adm.tryAdmit(len(fresh), timeout)
+		if !ok {
+			s.mShed.Inc()
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("saturated: %d new runs, predicted queue residence %v exceeds deadline %v",
+					len(fresh), predicted.Round(time.Millisecond), timeout), retry)
+			return
+		}
+	}
+
+	// Build the reply before launching anything, so "accepted" vs
+	// "coalesced" reflects the decision this request actually made.
+	out := batchResponse{Count: len(keys), Entries: make([]batchEntry, len(keys))}
+	freshSet := make(map[experiments.RunKey]bool, len(fresh))
+	for _, k := range fresh {
+		freshSet[k] = true
+	}
+	claimed := make(map[experiments.RunKey]bool, len(fresh))
+	for i, k := range keys {
+		e := batchEntry{ID: runID(k), Key: k.String(), Status: StatusAccepted}
+		if !freshSet[k] || claimed[k] {
+			e.Coalesced = true
+			out.Coalesced++
+			if rec, ok := s.lookup(e.ID); ok {
+				e.Status = rec.Status
+			} else {
+				e.Status = StatusRunning
+			}
+		} else {
+			claimed[k] = true
+			out.Accepted++
+			s.remember(e.ID, record{Key: k, Status: StatusRunning})
+		}
+		out.Entries[i] = e
+	}
+
+	// Detach execution from the request: the submitter may disconnect the
+	// moment it has the ids. Each run releases its own admission slot, so
+	// the queue drains as the batch progresses rather than all at once.
+	for _, k := range fresh {
+		s.bg.Add(1)
+		go func(k experiments.RunKey) {
+			defer s.bg.Done()
+			defer s.adm.release(1)
+			ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+			defer cancel()
+			id := runID(k)
+			res, err := s.pool.Do(ctx, k)
+			if err != nil {
+				s.remember(id, record{Key: k, Status: StatusFailed, Err: err.Error()})
+				return
+			}
+			s.remember(id, record{Key: k, Status: StatusDone, Results: res})
+		}(k)
+	}
+	writeJSON(w, http.StatusAccepted, out)
+}

@@ -9,6 +9,9 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"time"
@@ -32,6 +35,60 @@ type fleetResponse struct {
 	Plan      string           `json:"plan"`
 	Aggregate *fleet.Aggregate `json:"aggregate"`
 	Stats     fleet.RunStats   `json:"stats"`
+	// Cached marks responses served from the shared store: some replica
+	// already ran this exact resolved plan, so no devices were simulated.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// fleetID derives the store id for a resolved plan. The "f0" prefix keeps
+// fleet records disjoint from run records, which hash the RunKey instead.
+func fleetID(plan experiments.FleetPlan) string {
+	sum := sha256.Sum256([]byte("fleet\x00" + plan.String()))
+	return "f0" + hex.EncodeToString(sum[:8])
+}
+
+// fleetStored is the store payload for one finished fleet sweep. Stats ride
+// along so a cached response is shaped like a fresh one; they describe the
+// original execution, not the cache hit.
+type fleetStored struct {
+	Aggregate *fleet.Aggregate `json:"aggregate"`
+	Stats     fleet.RunStats   `json:"stats"`
+}
+
+// fleetLookup consults the shared store for a finished identical plan.
+func (s *Server) fleetLookup(plan experiments.FleetPlan) (*fleet.Aggregate, fleet.RunStats, bool) {
+	if s.cfg.Store == nil {
+		return nil, fleet.RunStats{}, false
+	}
+	rec, ok := s.cfg.Store.Get(fleetID(plan))
+	if !ok {
+		return nil, fleet.RunStats{}, false
+	}
+	var st fleetStored
+	if err := json.Unmarshal(rec.Payload, &st); err != nil || st.Aggregate == nil {
+		s.cfg.Logf("quetzald: fleet store record %s undecodable: %v", rec.ID, err)
+		return nil, fleet.RunStats{}, false
+	}
+	s.mStoreHits.Inc()
+	return st.Aggregate, st.Stats, true
+}
+
+// fleetPublish durably records a finished fleet sweep; failures are logged,
+// never fatal.
+func (s *Server) fleetPublish(plan experiments.FleetPlan, agg *fleet.Aggregate, stats fleet.RunStats) {
+	if s.cfg.Store == nil || agg == nil {
+		return
+	}
+	payload, err := json.Marshal(fleetStored{Aggregate: agg, Stats: stats})
+	if err != nil {
+		s.cfg.Logf("quetzald: fleet store marshal: %v", err)
+		return
+	}
+	if err := s.cfg.Store.Put(fleetID(plan), "fleet "+plan.String(), payload); err != nil {
+		s.cfg.Logf("quetzald: fleet store put: %v", err)
+		return
+	}
+	s.mStorePuts.Inc()
 }
 
 // handleFleet is POST /v1/fleet: decode, validate through FleetSpec.Plan,
@@ -45,6 +102,13 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	plan, err := req.FleetSpec.Plan()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: "+err.Error(), 0)
+		return
+	}
+
+	// A plan some replica already ran is served from the shared store before
+	// the single-fleet gate: cache hits are cheap and can overlap a live sweep.
+	if agg, stats, ok := s.fleetLookup(plan); ok {
+		writeJSON(w, http.StatusOK, fleetResponse{Plan: plan.String(), Aggregate: agg, Stats: stats, Cached: true})
 		return
 	}
 
@@ -92,6 +156,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mFleetsExecuted.Inc()
+	s.fleetPublish(plan, agg, stats)
 	s.cfg.Logf("quetzald: fleet done: %d devices in %.1fs (%.0f devices/s, peak heap %.1f MiB)",
 		stats.Devices, stats.ElapsedSec, stats.DevicesPerSec, float64(stats.PeakHeapBytes)/(1<<20))
 	writeJSON(w, http.StatusOK, fleetResponse{Plan: plan.String(), Aggregate: agg, Stats: stats})

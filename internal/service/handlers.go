@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,7 +41,11 @@ type runResponse struct {
 	Status string `json:"status"`
 	// Coalesced marks responses served without a fresh execution: the run
 	// was already memoized or joined an in-flight duplicate.
-	Coalesced bool             `json:"coalesced,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Stored marks GET /v1/runs/{id} responses reconstructed from the
+	// durable store rather than this replica's in-memory records — the
+	// warm-restart path.
+	Stored    bool             `json:"stored,omitempty"`
 	ElapsedMs float64          `json:"elapsed_ms,omitempty"`
 	Results   *metrics.Results `json:"results,omitempty"`
 	Error     string           `json:"error,omitempty"`
@@ -72,8 +77,11 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/run", s.wrap("run", s.handleRun))
+	mux.Handle("POST /v1/batch", s.wrap("batch", s.handleBatch))
 	mux.Handle("POST /v1/sweep", s.wrap("sweep", s.handleSweep))
+	mux.Handle("POST /v1/sweep/stream", s.wrap("sweep_stream", s.handleSweepStream))
 	mux.Handle("POST /v1/fleet", s.wrap("fleet", s.handleFleet))
+	mux.Handle("POST /v1/fleet/stream", s.wrap("fleet_stream", s.handleFleetStream))
 	mux.Handle("GET /v1/runs/{id}", s.wrap("get_run", s.handleGetRun))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -354,6 +362,22 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, ok := s.lookup(id)
 	if !ok {
+		// Fall back to the durable store: a freshly restarted replica (or a
+		// sibling that never saw the original request) still serves any id
+		// the fleet has computed.
+		if s.cfg.Store != nil {
+			// Fleet records share the store but are not runs; their keys are
+			// namespaced so they can never masquerade as one here.
+			if srec, found := s.cfg.Store.Get(id); found && !strings.HasPrefix(srec.Key, "fleet ") {
+				if res, okRes := s.storeLookup(id); okRes {
+					s.mStoreHits.Inc()
+					writeJSON(w, http.StatusOK, runResponse{
+						ID: id, Key: srec.Key, Status: StatusDone, Stored: true, Results: &res,
+					})
+					return
+				}
+			}
+		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown run id %q", id), 0)
 		return
 	}

@@ -27,6 +27,7 @@ import (
 	"quetzal/internal/metrics"
 	"quetzal/internal/obs"
 	"quetzal/internal/runner"
+	"quetzal/internal/store"
 )
 
 // RunFunc executes one resolved run. The default is Setup.Execute; tests
@@ -50,11 +51,28 @@ type Config struct {
 	MaxQueue int
 	// MaxSweepKeys bounds the runs in one /v1/sweep request. 0 → 64.
 	MaxSweepKeys int
+	// MaxBatchKeys bounds the runs in one /v1/batch request. Batch runs
+	// execute in the background, so the bound is independent of the sweep
+	// one. 0 → 256.
+	MaxBatchKeys int
 	// MaxBodyBytes bounds request bodies. 0 → 1 MiB.
 	MaxBodyBytes int64
 	// MaxRecords bounds the run-record index served by /v1/runs/{id};
 	// oldest records are evicted first. 0 → 4096.
 	MaxRecords int
+	// Store, when set, is the durable shared result store: completed runs
+	// are published to it and consulted before executing, so replicas
+	// pointed at one store directory share a cache and a restart serves
+	// previously computed run ids from disk. Nil → in-memory memo only.
+	Store *store.Store
+	// StoreClaimWait bounds how long a run that lost the store's execution
+	// claim polls for the winner's result before executing anyway (the
+	// claim is advisory; a crashed winner must not wedge the loser).
+	// 0 → 5s.
+	StoreClaimWait time.Duration
+	// StreamHeartbeat is the keepalive cadence of the streaming endpoints:
+	// an idle stream emits a heartbeat event this often. 0 → 5s.
+	StreamHeartbeat time.Duration
 	// Registry receives the service metrics; nil → a fresh registry.
 	Registry *obs.Registry
 	// Run overrides the execution function; nil → Setup.Execute.
@@ -86,6 +104,19 @@ func (c Config) withDefaults() Config {
 	// than the admission queue could never be admitted at all.
 	if c.MaxSweepKeys > c.MaxQueue {
 		c.MaxSweepKeys = c.MaxQueue
+	}
+	if c.MaxBatchKeys <= 0 {
+		c.MaxBatchKeys = 256
+	}
+	// Same argument for batches: the whole batch is one admission decision.
+	if c.MaxBatchKeys > c.MaxQueue {
+		c.MaxBatchKeys = c.MaxQueue
+	}
+	if c.StoreClaimWait <= 0 {
+		c.StoreClaimWait = 5 * time.Second
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 5 * time.Second
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
@@ -133,6 +164,12 @@ type Server struct {
 
 	draining atomic.Bool
 	inflight sync.WaitGroup // live HTTP requests, for Drain
+	bg       sync.WaitGroup // background batch executions, for Drain
+
+	// baseCtx outlives individual requests: /v1/batch detaches executions
+	// from the submitting request's context and runs them under this one.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	// Fleet-sweep state: one sweep at a time, with progress published as
 	// gauges so /metrics shows a minutes-long sweep moving.
@@ -152,6 +189,15 @@ type Server struct {
 	mShed           *obs.Counter
 	mPanics         *obs.Counter
 	mFleetsExecuted *obs.Counter
+
+	// Store-layer counters (zero and never scraped false when no store is
+	// configured). A "hit" is a run served from the shared store instead of
+	// simulated; a "miss" is a run that had to execute; claim losses count
+	// runs that found another replica already computing their key.
+	mStoreHits        *obs.Counter
+	mStoreMisses      *obs.Counter
+	mStorePuts        *obs.Counter
+	mStoreClaimLosses *obs.Counter
 }
 
 // New builds a Server around cfg.
@@ -163,14 +209,26 @@ func New(cfg Config) *Server {
 		reg:     cfg.Registry,
 		records: make(map[string]*record),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mRunsExecuted = s.reg.Counter("quetzald_runs_executed_total")
 	s.mCacheHits = s.reg.Counter("quetzald_run_cache_hits_total")
 	s.mRunErrors = s.reg.Counter("quetzald_run_errors_total")
 	s.mShed = s.reg.Counter("quetzald_shed_total")
 	s.mPanics = s.reg.Counter("quetzald_panics_total")
 	s.mFleetsExecuted = s.reg.Counter("quetzald_fleets_executed_total")
+	s.mStoreHits = s.reg.Counter("quetzald_store_hits_total")
+	s.mStoreMisses = s.reg.Counter("quetzald_store_misses_total")
+	s.mStorePuts = s.reg.Counter("quetzald_store_puts_total")
+	s.mStoreClaimLosses = s.reg.Counter("quetzald_store_claim_losses_total")
 
-	s.pool = runner.New(runner.Func[experiments.RunKey, metrics.Results](cfg.Run),
+	// The pool consults the store before executing: the store wrapper sits
+	// between the single-flight layer and the simulator, so a key that any
+	// replica has already computed is served from disk instead of re-run.
+	runFn := cfg.Run
+	if cfg.Store != nil {
+		runFn = s.withStore(runFn)
+	}
+	s.pool = runner.New(runner.Func[experiments.RunKey, metrics.Results](runFn),
 		runner.Config[experiments.RunKey]{
 			Workers: cfg.Workers,
 			// Backstop under the admission gate: even if every admitted
@@ -246,21 +304,26 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Drain enters draining mode and waits for in-flight requests to finish,
-// or for ctx to expire. On a clean drain the ledger and metrics agree: the
-// pool's OnEvent stream is serialized, so the last event lands before the
-// last handler returns.
+// Drain enters draining mode and waits for in-flight requests — and any
+// background batch executions — to finish, or for ctx to expire. On a
+// clean drain the ledger and metrics agree: the pool's OnEvent stream is
+// serialized, so the last event lands before the last handler returns.
+// Results published to a configured store survive the drain by
+// construction: Put fsyncs before the execution is reported done.
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		s.bg.Wait()
 		close(done)
 	}()
 	select {
 	case <-done:
+		s.baseCancel()
 		return nil
 	case <-ctx.Done():
+		s.baseCancel() // abandon stuck background work; the memo is not poisoned
 		return ctx.Err()
 	}
 }
@@ -286,6 +349,12 @@ func (s *Server) refreshGauges() {
 	s.reg.Gauge("quetzald_fleet_devices_done").Set(float64(s.fleetDone.Load()))
 	s.reg.Gauge("quetzald_fleet_devices_total").Set(float64(s.fleetTotal.Load()))
 	s.reg.Gauge("quetzald_fleet_peak_heap_bytes").Set(float64(s.fleetPeakHeap.Load()))
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		s.reg.Gauge("quetzald_store_records").Set(float64(st.Records))
+		s.reg.Gauge("quetzald_store_segments").Set(float64(st.Segments))
+		s.reg.Gauge("quetzald_store_torn_segments").Set(float64(st.TornSegs))
+	}
 	l := s.pool.Ledger()
 	s.reg.Gauge("quetzald_run_seconds_total").Set(l.RunTime.Seconds())
 	s.reg.Gauge("quetzald_queue_wait_seconds_total").Set(l.QueueWait.Seconds())

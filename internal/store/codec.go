@@ -1,0 +1,118 @@
+package store
+
+// The on-disk record codec. A segment file is a plain concatenation of
+// records, each framed as:
+//
+//	offset  size  field
+//	0       4     magic "QZS1"
+//	4       4     id length      (uint32 LE, 1..128)
+//	8       4     key length     (uint32 LE, 0..64 KiB)
+//	12      4     payload length (uint32 LE, 0..16 MiB)
+//	16      4     CRC-32C over id ∥ key ∥ payload
+//	20      ...   id bytes, key bytes, payload bytes
+//
+// The framing is canonical: encoding a decoded record reproduces the input
+// bytes exactly (FuzzStoreRecord holds this). Decoding distinguishes a
+// *torn* tail — the bytes so far are a valid prefix of a record that has
+// not been fully written yet — from a *corrupt* one whose framing or
+// checksum can never become valid. Torn tails are retried on a later
+// refresh (the writer may still be mid-append); corrupt ones end the
+// segment permanently.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record is one stored result: an id (the content address — the sha256 run
+// or fleet id the service already derives), the human-readable key string
+// the id hashes, and an opaque payload (the service stores JSON results).
+type Record struct {
+	ID      string
+	Key     string
+	Payload []byte
+}
+
+const (
+	headerLen  = 20
+	maxIDLen   = 128
+	maxKeyLen  = 1 << 16
+	maxPayload = 16 << 20
+)
+
+var recMagic = [4]byte{'Q', 'Z', 'S', '1'}
+
+// ErrTornTail marks bytes that are a strict prefix of a well-formed record:
+// the writer crashed mid-append, or is still appending.
+var ErrTornTail = errors.New("store: torn record tail")
+
+// ErrCorrupt marks bytes that can never decode: bad magic, absurd lengths,
+// or a checksum mismatch.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func recordCRC(id, key string, payload []byte) uint32 {
+	c := crc32.Update(0, crcTable, []byte(id))
+	c = crc32.Update(c, crcTable, []byte(key))
+	return crc32.Update(c, crcTable, payload)
+}
+
+// appendRecord appends the canonical encoding of rec to dst.
+func appendRecord(dst []byte, rec Record) ([]byte, error) {
+	if n := len(rec.ID); n < 1 || n > maxIDLen {
+		return dst, fmt.Errorf("store: id length %d outside [1, %d]", n, maxIDLen)
+	}
+	if n := len(rec.Key); n > maxKeyLen {
+		return dst, fmt.Errorf("store: key length %d exceeds %d", n, maxKeyLen)
+	}
+	if n := len(rec.Payload); n > maxPayload {
+		return dst, fmt.Errorf("store: payload length %d exceeds %d", n, maxPayload)
+	}
+	dst = append(dst, recMagic[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rec.ID)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rec.Key)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rec.Payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, recordCRC(rec.ID, rec.Key, rec.Payload))
+	dst = append(dst, rec.ID...)
+	dst = append(dst, rec.Key...)
+	dst = append(dst, rec.Payload...)
+	return dst, nil
+}
+
+// decodeRecord parses one record from the front of b, returning the record
+// and the number of bytes it occupied. The returned Payload aliases b.
+func decodeRecord(b []byte) (Record, int, error) {
+	if len(b) < len(recMagic) {
+		if string(b) != string(recMagic[:len(b)]) {
+			return Record{}, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+		return Record{}, 0, ErrTornTail
+	}
+	if [4]byte(b[:4]) != recMagic {
+		return Record{}, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if len(b) < headerLen {
+		return Record{}, 0, ErrTornTail
+	}
+	idLen := binary.LittleEndian.Uint32(b[4:8])
+	keyLen := binary.LittleEndian.Uint32(b[8:12])
+	payLen := binary.LittleEndian.Uint32(b[12:16])
+	crc := binary.LittleEndian.Uint32(b[16:20])
+	if idLen < 1 || idLen > maxIDLen || keyLen > maxKeyLen || payLen > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: lengths id=%d key=%d payload=%d", ErrCorrupt, idLen, keyLen, payLen)
+	}
+	total := headerLen + int(idLen) + int(keyLen) + int(payLen)
+	if len(b) < total {
+		return Record{}, 0, ErrTornTail
+	}
+	id := string(b[headerLen : headerLen+int(idLen)])
+	key := string(b[headerLen+int(idLen) : headerLen+int(idLen)+int(keyLen)])
+	payload := b[headerLen+int(idLen)+int(keyLen) : total]
+	if recordCRC(id, key, payload) != crc {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch for id %q", ErrCorrupt, id)
+	}
+	return Record{ID: id, Key: key, Payload: payload}, total, nil
+}
